@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks over the real hot-path code (run on the host
+//! machine — these measure our Rust implementation, complementing the
+//! modeled 1993 costs the table reproductions use).
+//!
+//! * Internet checksum throughput;
+//! * the three packet-demultiplexing generations (CSPF interpreter, BPF
+//!   VM, compiled match) — the modern-hardware analogue of Table 5;
+//! * hierarchical timing wheel vs. the sorted-list baseline — the
+//!   Varghese & Lauck ablation;
+//! * TCP segment build/parse and full loopback transfer throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use unp_filter::programs::{bpf_demux, cspf_demux, DemuxSpec};
+use unp_filter::{CompiledDemux, Demux};
+use unp_tcp::loopback::{ChannelModel, Loopback, Side};
+use unp_tcp::TcpConfig;
+use unp_timers::{SortedTimerList, TimerService, TimerWheel};
+use unp_wire::{
+    checksum, EtherType, EthernetRepr, IpProtocol, Ipv4Addr, Ipv4Repr, MacAddr, SeqNum, TcpFlags,
+    TcpPacket, TcpRepr,
+};
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for size in [64usize, 512, 1460] {
+        let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("rfc1071_{size}"), |b| {
+            b.iter(|| checksum(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn demux_frame() -> Vec<u8> {
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 2);
+    let t = TcpRepr {
+        src_port: 4000,
+        dst_port: 80,
+        seq: SeqNum(1),
+        ack_num: SeqNum(2),
+        flags: TcpFlags::ack(),
+        window: 8192,
+        mss: None,
+    };
+    let seg = t.build_segment(src, dst, &[0u8; 512]);
+    let ip = Ipv4Repr::simple(src, dst, IpProtocol::Tcp, seg.len());
+    EthernetRepr {
+        dst: MacAddr::from_host_index(2),
+        src: MacAddr::from_host_index(1),
+        ethertype: EtherType::Ipv4,
+    }
+    .build_frame(&ip.build_packet(&seg))
+}
+
+fn bench_demux(c: &mut Criterion) {
+    let spec = DemuxSpec {
+        link_header_len: 14,
+        protocol: IpProtocol::Tcp,
+        local_ip: Ipv4Addr::new(10, 0, 0, 2),
+        local_port: 80,
+        remote_ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+        remote_port: Some(4000),
+    };
+    let frame = demux_frame();
+    let bpf = bpf_demux(&spec);
+    let cspf = cspf_demux(&spec);
+    let compiled = CompiledDemux::from_spec(&spec);
+    assert!(bpf.matches(&frame) && cspf.matches(&frame) && compiled.matches(&frame));
+
+    let mut g = c.benchmark_group("demux");
+    g.bench_function("cspf_interpreter", |b| {
+        b.iter(|| cspf.matches(black_box(&frame)))
+    });
+    g.bench_function("bpf_vm", |b| b.iter(|| bpf.matches(black_box(&frame))));
+    g.bench_function("compiled", |b| {
+        b.iter(|| compiled.matches(black_box(&frame)))
+    });
+    // The miss path matters as much: every foreign packet runs the filter.
+    let mut other = frame.clone();
+    other[37] ^= 1; // different dst port
+    g.bench_function("bpf_vm_miss", |b| b.iter(|| bpf.matches(black_box(&other))));
+    g.finish();
+}
+
+fn bench_timers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timers");
+    for n in [32u64, 1024] {
+        g.bench_function(format!("wheel_start_stop_{n}"), |b| {
+            b.iter(|| {
+                let mut w: TimerWheel<u64> = TimerWheel::new(0);
+                let ids: Vec<_> = (0..n).map(|i| w.start(i * 1_000_000, i)).collect();
+                for id in ids {
+                    black_box(w.stop(id));
+                }
+            })
+        });
+        g.bench_function(format!("list_start_stop_{n}"), |b| {
+            b.iter(|| {
+                let mut l: SortedTimerList<u64> = SortedTimerList::new();
+                let ids: Vec<_> = (0..n).map(|i| l.start(i * 1_000_000, i)).collect();
+                for id in ids {
+                    black_box(l.stop(id));
+                }
+            })
+        });
+    }
+    // The TCP pattern: constant restart of one timer among many pending.
+    g.bench_function("wheel_tcp_restart_pattern", |b| {
+        b.iter(|| {
+            let mut w: TimerWheel<u64> = TimerWheel::new(0);
+            let _guards: Vec<_> = (0..256u64)
+                .map(|i| w.start((i + 10) * 2_000_000, i))
+                .collect();
+            let mut id = w.start(1_000_000, 999);
+            for i in 0..100u64 {
+                w.stop(id);
+                id = w.start(1_000_000 + i * 10_000, 999);
+            }
+            black_box(w.pending())
+        })
+    });
+    g.finish();
+}
+
+fn bench_tcp_wire(c: &mut Criterion) {
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 2);
+    let repr = TcpRepr {
+        src_port: 4000,
+        dst_port: 80,
+        seq: SeqNum(100),
+        ack_num: SeqNum(200),
+        flags: TcpFlags::ack(),
+        window: 8192,
+        mss: None,
+    };
+    let payload = vec![0xa5u8; 1460];
+    let mut g = c.benchmark_group("tcp_wire");
+    g.throughput(Throughput::Bytes(1460));
+    g.bench_function("build_segment_1460", |b| {
+        b.iter(|| repr.build_segment(black_box(src), black_box(dst), black_box(&payload)))
+    });
+    let seg = repr.build_segment(src, dst, &payload);
+    g.bench_function("parse_verify_1460", |b| {
+        b.iter(|| {
+            let p = TcpPacket::new_checked(black_box(&seg[..])).unwrap();
+            assert!(p.verify_checksum(src, dst));
+            TcpRepr::parse(&p)
+        })
+    });
+    g.finish();
+}
+
+fn bench_loopback_transfer(c: &mut Criterion) {
+    // End-to-end protocol work for a 256 kB transfer over the clean
+    // loopback harness: measures the real state-machine throughput of the
+    // whole stack on modern hardware.
+    let mut g = c.benchmark_group("stack");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(256 * 1024));
+    g.bench_function("loopback_256k_transfer", |b| {
+        b.iter(|| {
+            let mut lb = Loopback::new(
+                TcpConfig::bulk_transfer(),
+                TcpConfig::bulk_transfer(),
+                ChannelModel::clean(),
+            );
+            let data = vec![7u8; 256 * 1024];
+            lb.send(Side::A, &data);
+            lb.close(Side::A);
+            assert!(lb.run_until(10_000_000, |lb| lb.received(Side::B).len() == data.len()));
+            black_box(lb.received(Side::B).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_demux,
+    bench_timers,
+    bench_tcp_wire,
+    bench_loopback_transfer
+);
+criterion_main!(benches);

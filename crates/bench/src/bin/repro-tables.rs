@@ -1,0 +1,42 @@
+//! Regenerates every table of the paper's evaluation section.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p unp-bench --release --bin repro-tables            # all
+//! cargo run -p unp-bench --release --bin repro-tables -- table2  # one
+//! cargo run -p unp-bench --release --bin repro-tables -- quick   # smaller workloads
+//! ```
+
+use unp_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let total: u64 = if quick { 400_000 } else { 2_000_000 };
+    let rounds = if quick { 10 } else { 30 };
+    let pick = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "quick");
+
+    println!("Reproduction of \"Implementing Network Protocols at User Level\"");
+    println!("(Thekkath, Nguyen, Moy, Lazowska — SIGCOMM 1993)\n");
+    if pick("table1") {
+        tables::table1();
+    }
+    if pick("table2") {
+        tables::table2(total);
+    }
+    if pick("table3") {
+        tables::table3(rounds);
+    }
+    if pick("table4") {
+        tables::table4();
+    }
+    if pick("table5") {
+        tables::table5();
+    }
+    if pick("fig1") {
+        tables::fig1_sweep(total);
+    }
+    if pick("ablations") {
+        tables::ablations(total);
+    }
+}

@@ -1,0 +1,10 @@
+//! `unp-bench` — benchmark harness and paper-table reproduction.
+//!
+//! * `cargo run -p unp-bench --release --bin repro-tables` regenerates
+//!   every table of the paper's §4 (plus the Figure 1 organization sweep
+//!   and the ablation studies) on the simulated testbed.
+//! * `cargo bench -p unp-bench` runs the Criterion micro-benchmarks over
+//!   the real hot-path code (checksum, filter VMs, timing wheel, TCP
+//!   segment processing) on the host machine.
+
+pub mod tables;

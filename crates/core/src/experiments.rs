@@ -1,0 +1,507 @@
+//! Experiment runners that regenerate the paper's evaluation (§4).
+//!
+//! Each function builds a fresh two-host world, runs the workload on the
+//! virtual clock, and returns the measurement. The `unp-bench` crate's
+//! `repro-tables` binary formats these into the paper's tables;
+//! `EXPERIMENTS.md` records paper-vs-measured values.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use unp_sim::{CostModel, Engine, LinkParams, Nanos, MILLIS};
+use unp_tcp::TcpConfig;
+use unp_wire::Ipv4Addr;
+
+use crate::app::{BulkSender, EchoApp, PingPongApp, SinkApp, TransferStats};
+use crate::world::{build_two_hosts, connect, listen, Network, OrgKind};
+
+/// Default byte budget for throughput runs (enough for steady state to
+/// dominate the handshake).
+pub const THROUGHPUT_BYTES: u64 = 2_000_000;
+
+const SERVER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
+
+fn transfer_cfg() -> TcpConfig {
+    TcpConfig::bulk_transfer()
+}
+
+/// Table 2: unidirectional TCP throughput in Mb/s for `user_packet`-byte
+/// application writes.
+pub fn throughput_mbps(network: Network, org: OrgKind, user_packet: usize, total: u64) -> f64 {
+    let (mut w, mut eng) = build_two_hosts(network, org);
+    let stats = TransferStats::new_shared();
+    let st = Rc::clone(&stats);
+    // The paper's workload puts one network packet on the wire per user
+    // packet below the link MTU ("user packet sizes beyond the
+    // link-imposed maximum will require multiple network packet
+    // transmissions for each packet"); cap the MSS accordingly so the
+    // segment stream matches the measured workload.
+    let mut cfg = transfer_cfg();
+    cfg.mss_local = user_packet.min(1460);
+    listen(
+        &mut w,
+        1,
+        80,
+        cfg.clone(),
+        Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)))),
+    );
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        cfg,
+        Box::new(BulkSender::new(total, user_packet)),
+        user_packet,
+    );
+    let drained = eng.run(&mut w, 50_000_000);
+    assert!(drained, "throughput run did not drain");
+    let s = stats.borrow();
+    assert_eq!(s.bytes_received, total, "transfer incomplete");
+    s.throughput_bps().expect("bytes moved") / 1e6
+}
+
+/// Table 3: mean TCP round-trip time in milliseconds for `size`-byte
+/// exchanges ("the first application sends data to the second, which in
+/// turn, sends the same amount of data back"), setup excluded.
+pub fn latency_ms(network: Network, org: OrgKind, size: usize, rounds: usize) -> f64 {
+    let (mut w, mut eng) = build_two_hosts(network, org);
+    let stats = TransferStats::new_shared();
+    // The stock stack configuration: delayed ACKs let the echo piggyback
+    // its acknowledgment on the reply, exactly as the paper's ping-pong
+    // traffic would behave; Nagle never delays because each ping is sent
+    // with no data outstanding.
+    let cfg = TcpConfig::default();
+    listen(&mut w, 1, 80, cfg.clone(), Box::new(|| Box::new(EchoApp)));
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        cfg,
+        Box::new(PingPongApp::new(size, rounds, Rc::clone(&stats))),
+        size,
+    );
+    let drained = eng.run(&mut w, 50_000_000);
+    assert!(drained, "latency run did not drain");
+    let s = stats.borrow();
+    assert_eq!(s.rtts.len(), rounds, "rounds incomplete");
+    s.mean_rtt().expect("rtts") / 1e6
+}
+
+/// Table 4: connection setup time in milliseconds — from the application's
+/// connect call to its `Connected` upcall, "assuming the passive peer was
+/// already listening".
+pub fn setup_ms(network: Network, org: OrgKind) -> f64 {
+    let (mut w, mut eng) = build_two_hosts(network, org);
+    let stats = TransferStats::new_shared();
+    let st = Rc::clone(&stats);
+    listen(
+        &mut w,
+        1,
+        80,
+        TcpConfig::default(),
+        Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)).without_verify())),
+    );
+    let client_stats = TransferStats::new_shared();
+    // A ping-pong app with zero rounds: records connected_at, closes.
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        TcpConfig::default(),
+        Box::new(PingPongApp::new(1, 0, Rc::clone(&client_stats))),
+        1,
+    );
+    let drained = eng.run(&mut w, 10_000_000);
+    assert!(drained, "setup run did not drain");
+    let connected_at = client_stats
+        .borrow()
+        .connected_at
+        .expect("connection must establish");
+    connected_at as f64 / 1e6
+}
+
+/// The five-component breakdown of the user-library setup cost on
+/// Ethernet, mirroring the paper's itemization of its 11.9 ms. Returns
+/// (label, milliseconds) pairs, model-derived.
+pub fn setup_breakdown(costs: &CostModel) -> Vec<(&'static str, f64)> {
+    let ms = |n: Nanos| n as f64 / MILLIS as f64;
+    // Remote+back: the registry's per-packet device operations for the
+    // three-way handshake (2 local sends + 1 local receive on the client,
+    // plus the peer's 2 ops awaited synchronously) + protocol processing.
+    let remote_and_back = 3 * costs.registry_pkt_op
+        + 2 * (costs.registry_pkt_op + costs.tcp_per_segment + costs.ip_per_packet)
+        + 2 * costs.tcp_per_segment;
+    vec![
+        ("remote peer and back", ms(remote_and_back)),
+        (
+            "non-overlapped outbound processing",
+            ms(costs.registry_connect_processing),
+        ),
+        ("user channel setup", ms(costs.channel_setup)),
+        ("application to server and back", ms(2 * costs.registry_rpc)),
+        ("TCP state transfer to user level", ms(costs.state_transfer)),
+    ]
+}
+
+/// Table 1: the raw-mechanism micro-benchmark. Two applications exchange
+/// maximum-sized Ethernet packets "without using any higher-level
+/// protocols", exercising the shared ring, the library↔kernel signaling,
+/// and template checking. Returns `(mechanism_mbps, standalone_mbps)` —
+/// the paper compares against "the maximum achievable using the raw
+/// hardware with a standalone program and no operating system".
+pub fn table1_mechanisms(network: Network) -> (f64, f64) {
+    let params = match network {
+        Network::Ethernet => LinkParams::ethernet_10mbps(),
+        Network::An1 => LinkParams::an1_100mbps(),
+    };
+    let costs = CostModel::calibrated_1993();
+    let payload = params.mtu; // max-sized packets, no protocol headers
+    let link_hdr = 14;
+    let standalone = params.saturation_payload_bps(payload, link_hdr) / 1e6;
+
+    // A bespoke two-stage pipeline on the virtual clock: sender app →
+    // (library call, fast trap, template check, ring op, device) → wire →
+    // receiver (interrupt, device, demux, ring, batched signal, library).
+    struct Raw {
+        tx_cpu: unp_sim::Cpu,
+        rx_cpu: unp_sim::Cpu,
+        link: unp_netdev::Link,
+        delivered: u64,
+        first: Option<Nanos>,
+        last: Option<Nanos>,
+        notify_pending: bool,
+    }
+    let mut eng: Engine<Raw> = Engine::new();
+    let mut raw = Raw {
+        tx_cpu: unp_sim::Cpu::new(),
+        rx_cpu: unp_sim::Cpu::new(),
+        link: unp_netdev::Link::new(params),
+        delivered: 0,
+        first: None,
+        last: None,
+        notify_pending: false,
+    };
+    let frames: u64 = 400;
+    let frame_len = payload + link_hdr;
+    let is_an1 = network == Network::An1;
+
+    fn send_one(
+        r: &mut Raw,
+        eng: &mut Engine<Raw>,
+        costs: &CostModel,
+        frame_len: usize,
+        payload: usize,
+        is_an1: bool,
+        remaining: u64,
+    ) {
+        if remaining == 0 {
+            return;
+        }
+        let dev = if is_an1 {
+            costs.dma_setup
+        } else {
+            costs.pio(frame_len)
+        };
+        let tx_cost =
+            costs.library_call + costs.fast_trap + costs.template_check + costs.ring_op + dev;
+        let done = r.tx_cpu.charge(eng.now(), tx_cost);
+        let costs2 = costs.clone();
+        let costs3 = costs.clone();
+        eng.at(done, move |r: &mut Raw, eng| {
+            let (_s, arrival) = r
+                .link
+                .reserve(unp_netdev::StationId(0), eng.now(), frame_len);
+            // Receiver side.
+            eng.at(arrival, move |r: &mut Raw, eng| {
+                let dev = if is_an1 { 0 } else { costs2.pio(frame_len) };
+                let demux = if is_an1 {
+                    costs2.bqi_demux
+                } else {
+                    costs2.filter_run(14)
+                };
+                let mut rx_cost = costs2.interrupt + dev + demux + costs2.ring_op;
+                if !r.notify_pending {
+                    r.notify_pending = true;
+                    rx_cost += costs2.semaphore_signal + costs2.thread_switch;
+                }
+                let done = r.rx_cpu.charge(eng.now(), rx_cost + costs2.library_call);
+                eng.at(done, move |r: &mut Raw, eng| {
+                    r.notify_pending = false;
+                    r.delivered += payload as u64;
+                    r.first.get_or_insert(eng.now());
+                    r.last = Some(eng.now());
+                });
+            });
+            // Pipeline the next frame immediately.
+            send_one(r, eng, &costs3, frame_len, payload, is_an1, remaining - 1);
+        });
+    }
+    send_one(
+        &mut raw, &mut eng, &costs, frame_len, payload, is_an1, frames,
+    );
+    eng.run(&mut raw, 100_000_000);
+    let (first, last) = (raw.first.expect("ran"), raw.last.expect("ran"));
+    let mechanism =
+        (raw.delivered - payload as u64) as f64 * 8.0 / ((last - first) as f64 / 1e9) / 1e6;
+    (mechanism, standalone)
+}
+
+/// Table 5: per-packet demultiplexing cost in microseconds —
+/// `(software_us, hardware_us)`. The software figure charges the actual
+/// generated BPF program for a connected TCP endpoint; the hardware figure
+/// is the AN1's inherent BQI device-management cost. "Copy and DMA costs
+/// are not included."
+pub fn table5_demux_us() -> (f64, f64) {
+    let costs = CostModel::calibrated_1993();
+    let spec = unp_filter::programs::DemuxSpec {
+        link_header_len: 14,
+        protocol: unp_wire::IpProtocol::Tcp,
+        local_ip: Ipv4Addr::new(10, 0, 0, 2),
+        local_port: 80,
+        remote_ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+        remote_port: Some(4000),
+    };
+    let prog = unp_filter::programs::bpf_demux(&spec);
+    use unp_filter::Demux;
+    let sw = costs.filter_run(prog.instruction_count()) as f64 / 1e3;
+    let hw = costs.bqi_demux as f64 / 1e3;
+    (sw, hw)
+}
+
+/// Convenience: the cell type experiments share with apps.
+pub type SharedStats = Rc<RefCell<TransferStats>>;
+
+// ---------------------------------------------------------------------
+// Ablations: what each design choice buys (DESIGN.md §4)
+// ---------------------------------------------------------------------
+
+/// Throughput of the user-level library with an ablation applied.
+/// `ablate`: "none" | "batching" | "zero_copy".
+pub fn ablation_throughput(network: Network, user_packet: usize, total: u64, ablate: &str) -> f64 {
+    let (mut w, mut eng) = build_two_hosts(network, OrgKind::UserLibrary);
+    match ablate {
+        "none" => {}
+        "batching" => w.ablate_batching = true,
+        "zero_copy" => w.ablate_zero_copy = true,
+        other => panic!("unknown ablation {other}"),
+    }
+    let stats = TransferStats::new_shared();
+    let st = Rc::clone(&stats);
+    let mut cfg = transfer_cfg();
+    cfg.mss_local = user_packet.min(1460);
+    listen(
+        &mut w,
+        1,
+        80,
+        cfg.clone(),
+        Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)))),
+    );
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        cfg,
+        Box::new(BulkSender::new(total, user_packet)),
+        user_packet,
+    );
+    assert!(eng.run(&mut w, 50_000_000), "ablation run did not drain");
+    let s = stats.borrow();
+    assert_eq!(s.bytes_received, total);
+    s.throughput_bps().expect("bytes moved") / 1e6
+}
+
+/// Nagle/delayed-ACK ablation on a small-write workload (the
+/// write-write-read RPC pathology is demonstrated in the
+/// `app_specific_tuning` example; this measures bulk small-write cost).
+pub fn ablation_nagle(total: u64, nagle: bool) -> (f64, u64) {
+    let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    let stats = TransferStats::new_shared();
+    let st = Rc::clone(&stats);
+    let mut cfg = transfer_cfg();
+    cfg.nagle = nagle;
+    listen(
+        &mut w,
+        1,
+        80,
+        cfg.clone(),
+        Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)))),
+    );
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        cfg,
+        Box::new(BulkSender::new(total, 128)),
+        128,
+    );
+    assert!(eng.run(&mut w, 100_000_000));
+    let s = stats.borrow();
+    assert_eq!(s.bytes_received, total);
+    (
+        s.throughput_bps().expect("moved") / 1e6,
+        w.trace.get("frames_sent"),
+    )
+}
+
+/// The request/response-vs-TCP crossover (paper §1.1: specialized
+/// protocols "achieve remarkably low latencies \[but\] do not always deliver
+/// the highest throughput"). Models `rrp` as one outstanding `size`-byte
+/// transaction per round trip over the same per-message costs as the
+/// library's data path, and compares with the measured TCP numbers.
+/// Returns (rrp_latency_ms, tcp_latency_ms, rrp_tput_mbps, tcp_tput_mbps).
+pub fn ablation_rrp_vs_tcp(size: usize) -> (f64, f64, f64, f64) {
+    let costs = CostModel::calibrated_1993();
+    let params = LinkParams::ethernet_10mbps();
+    // One rrp message each way: library call + kernel entry + template +
+    // device + wire + interrupt + demux + deliver-up.
+    let one_way = |bytes: usize| -> Nanos {
+        costs.library_call
+            + costs.fast_trap
+            + costs.template_check
+            + costs.ring_op
+            + costs.pio(bytes + 22)
+            + params.tx_time(bytes + 22)
+            + costs.interrupt
+            + costs.pio(bytes + 22)
+            + costs.filter_run(14)
+            + costs.ring_op
+            + costs.semaphore_signal
+            + costs.thread_switch
+            + costs.library_call
+    };
+    let rtt = one_way(size) + one_way(size); // request out, reply back
+    let rrp_lat_ms = rtt as f64 / 1e6;
+    // Throughput with one outstanding request of `size` bytes per RTT
+    // (the reply is a small ack-sized message).
+    let cycle = one_way(size) + one_way(16);
+    let rrp_tput = size as f64 * 8.0 / (cycle as f64 / 1e9) / 1e6;
+    let tcp_lat = latency_ms(Network::Ethernet, OrgKind::UserLibrary, size, 10);
+    let tcp_tput = throughput_mbps(Network::Ethernet, OrgKind::UserLibrary, 4096, 500_000);
+    (rrp_lat_ms, tcp_lat, rrp_tput, tcp_tput)
+}
+
+/// Congestion-control ablation on the byte-accurate loopback harness with
+/// real loss: transfers `total` bytes at `loss` rate under the given
+/// algorithm and reports `(virtual_completion_ms, segments_carried,
+/// bytes_retransmitted)`. Run by the `ablations` report; shows what
+/// Tahoe/Reno buy over the paper-era uncontrolled stack once links lose
+/// packets (on the paper's clean LANs they buy nothing, which is why the
+/// default is off).
+pub fn ablation_congestion(
+    total: usize,
+    loss: f64,
+    seed: u64,
+    cc: crate::CongestionControlChoice,
+) -> (f64, u64, u64) {
+    use unp_tcp::loopback::{ChannelModel, Loopback, Side};
+    let mut cfg = TcpConfig::bulk_transfer();
+    cfg.congestion = match cc {
+        crate::CongestionControlChoice::Off => unp_tcp::CongestionControl::Off,
+        crate::CongestionControlChoice::Tahoe => unp_tcp::CongestionControl::Tahoe,
+        crate::CongestionControlChoice::Reno => unp_tcp::CongestionControl::Reno,
+    };
+    let chan = ChannelModel {
+        jitter: 0,
+        duplicate: 0.0,
+        corrupt: 0.0,
+        ..ChannelModel::lossy(seed, loss)
+    };
+    let mut lb = Loopback::new(cfg.clone(), cfg, chan);
+    let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+    lb.send(Side::A, &data);
+    assert!(
+        lb.run_until(5_000_000, |lb| lb.received(Side::B).len() == total),
+        "transfer must complete under loss"
+    );
+    assert_eq!(lb.received(Side::B), &data[..], "stream integrity");
+    let stats = lb.tcb(Side::A).expect("conn live").stats();
+    (
+        lb.now() as f64 / 1e6,
+        lb.segments_carried,
+        stats.bytes_rexmit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_orderings_match_paper_shape() {
+        // Small transfer to keep the test fast; shapes hold regardless.
+        let t = |org| throughput_mbps(Network::Ethernet, org, 4096, 300_000);
+        let ultrix = t(OrgKind::InKernel);
+        let ours = t(OrgKind::UserLibrary);
+        let mach = t(OrgKind::SingleServer);
+        assert!(
+            ours > mach,
+            "library must beat Mach/UX: {ours:.2} vs {mach:.2}"
+        );
+        assert!(
+            ultrix > ours,
+            "Ultrix beats the library on Ethernet: {ultrix:.2} vs {ours:.2}"
+        );
+    }
+
+    #[test]
+    fn an1_small_packets_favor_the_library() {
+        let ultrix = throughput_mbps(Network::An1, OrgKind::InKernel, 512, 300_000);
+        let ours = throughput_mbps(Network::An1, OrgKind::UserLibrary, 512, 300_000);
+        assert!(
+            ours > ultrix,
+            "copy elimination should win at 512 B on AN1: {ours:.2} vs {ultrix:.2}"
+        );
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let l = |org| latency_ms(Network::Ethernet, org, 512, 8);
+        let ultrix = l(OrgKind::InKernel);
+        let ours = l(OrgKind::UserLibrary);
+        let mach = l(OrgKind::SingleServer);
+        assert!(ultrix < ours && ours < mach, "{ultrix} {ours} {mach}");
+    }
+
+    #[test]
+    fn setup_ordering() {
+        let ultrix = setup_ms(Network::Ethernet, OrgKind::InKernel);
+        let mach = setup_ms(Network::Ethernet, OrgKind::SingleServer);
+        let ours = setup_ms(Network::Ethernet, OrgKind::UserLibrary);
+        assert!(
+            ultrix < mach && mach < ours,
+            "setup ordering: {ultrix:.2} {mach:.2} {ours:.2}"
+        );
+        // Paper: ours ≈ 11.9 ms on Ethernet; stay in the regime.
+        assert!((6.0..25.0).contains(&ours), "ours setup {ours:.2} ms");
+    }
+
+    #[test]
+    fn table1_modest_overhead() {
+        let (mech, standalone) = table1_mechanisms(Network::Ethernet);
+        assert!(mech < standalone);
+        assert!(
+            mech > standalone * 0.5,
+            "mechanisms should cost modestly: {mech:.2} vs {standalone:.2}"
+        );
+    }
+
+    #[test]
+    fn table5_costs_close() {
+        let (sw, hw) = table5_demux_us();
+        assert!((sw - hw).abs() < 15.0, "sw {sw:.1} hw {hw:.1}");
+        assert!(sw > 30.0 && sw < 80.0);
+    }
+
+    #[test]
+    fn breakdown_sums_near_total() {
+        let costs = CostModel::calibrated_1993();
+        let parts = setup_breakdown(&costs);
+        let sum: f64 = parts.iter().map(|(_, v)| v).sum();
+        assert!((8.0..16.0).contains(&sum), "breakdown sum {sum:.2}");
+    }
+}

@@ -1,0 +1,123 @@
+//! pcap export: write captured simulation traffic in the classic
+//! libpcap file format, openable in Wireshark/tcpdump.
+//!
+//! The simulated Ethernet frames are bit-exact Ethernet II, so standard
+//! tools decode the whole stack (Ethernet → IPv4 → TCP) including the
+//! checksums this reproduction computes for real. AN1 frames use a
+//! user-reserved link type since the format is this project's
+//! reconstruction.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Link types for the pcap global header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkType {
+    /// DLT_EN10MB — standard Ethernet.
+    Ethernet,
+    /// DLT_USER0 — our AN1 framing (dst/src/type/bqi/announce).
+    An1,
+}
+
+impl LinkType {
+    fn code(self) -> u32 {
+        match self {
+            LinkType::Ethernet => 1,
+            LinkType::An1 => 147,
+        }
+    }
+}
+
+/// Serializes `(time, frame)` records into pcap bytes (little-endian,
+/// microsecond timestamps, format version 2.4).
+pub fn to_pcap_bytes(frames: &[(u64, Vec<u8>)], linktype: LinkType) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + frames.iter().map(|(_, f)| 16 + f.len()).sum::<usize>());
+    // Global header.
+    out.extend_from_slice(&0xa1b2_c3d4u32.to_le_bytes()); // magic
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&linktype.code().to_le_bytes());
+    for (t_ns, frame) in frames {
+        let sec = (t_ns / 1_000_000_000) as u32;
+        let usec = ((t_ns % 1_000_000_000) / 1_000) as u32;
+        out.extend_from_slice(&sec.to_le_bytes());
+        out.extend_from_slice(&usec.to_le_bytes());
+        out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        out.extend_from_slice(frame);
+    }
+    out
+}
+
+/// Writes `(time, frame)` records to a pcap file at `path`.
+pub fn write_pcap(
+    path: impl AsRef<Path>,
+    frames: &[(u64, Vec<u8>)],
+    linktype: LinkType,
+) -> io::Result<()> {
+    let bytes = to_pcap_bytes(frames, linktype);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcap_layout_is_well_formed() {
+        let frames = vec![
+            (1_500_000_000u64, vec![0xaau8; 60]),
+            (2_000_123_000u64, vec![0xbbu8; 100]),
+        ];
+        let bytes = to_pcap_bytes(&frames, LinkType::Ethernet);
+        // Global header.
+        assert_eq!(&bytes[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 4);
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            1,
+            "linktype Ethernet"
+        );
+        // First record header at offset 24.
+        let sec = u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]);
+        let usec = u32::from_le_bytes([bytes[28], bytes[29], bytes[30], bytes[31]]);
+        assert_eq!((sec, usec), (1, 500_000));
+        let caplen = u32::from_le_bytes([bytes[32], bytes[33], bytes[34], bytes[35]]);
+        assert_eq!(caplen, 60);
+        // Second record follows the first's payload.
+        let r2 = 24 + 16 + 60;
+        let sec2 = u32::from_le_bytes([
+            bytes[r2],
+            bytes[r2 + 1],
+            bytes[r2 + 2],
+            bytes[r2 + 3],
+        ]);
+        assert_eq!(sec2, 2);
+        assert_eq!(bytes.len(), 24 + 16 + 60 + 16 + 100);
+    }
+
+    #[test]
+    fn an1_uses_user_linktype() {
+        let bytes = to_pcap_bytes(&[], LinkType::An1);
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            147
+        );
+        assert_eq!(bytes.len(), 24, "header only");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("unp_pcap_test.pcap");
+        let frames = vec![(0u64, vec![1, 2, 3, 4])];
+        write_pcap(&dir, &frames, LinkType::Ethernet).unwrap();
+        let read = std::fs::read(&dir).unwrap();
+        assert_eq!(read, to_pcap_bytes(&frames, LinkType::Ethernet));
+        let _ = std::fs::remove_file(&dir);
+    }
+}

@@ -1,0 +1,455 @@
+//! `rrp` — a VMTP-flavored request/response transport library.
+//!
+//! The paper's motivation section: "the need for an efficient transport for
+//! distributed systems was a factor in the development of request/response
+//! protocols in lieu of existing byte-stream protocols such as TCP.
+//! Experience with specialized protocols shows that they achieve remarkably
+//! low latencies. However these protocols do not always deliver the highest
+//! throughput. In systems that need to support both throughput-intensive
+//! and latency-critical applications, it is realistic to expect both types
+//! of protocols to co-exist."
+//!
+//! `rrp` is that second, coexisting protocol library: a transaction
+//! transport in the spirit of VMTP/Birrell-Nelson RPC. One message carries
+//! a whole request; the *reply acknowledges the request* (no setup phase,
+//! no per-message ACK on the common path); an explicit ACK closes the
+//! transaction only when the client is idle. Retransmission uses a simple
+//! per-transaction timer, and duplicate suppression keeps at-most-once
+//! semantics per transaction id.
+//!
+//! It is deliberately window-less: a client has one outstanding request —
+//! exactly why such protocols lose on bulk throughput, which the
+//! `rrp_vs_tcp` ablation benchmark quantifies.
+
+use std::collections::HashMap;
+
+use unp_wire::Ipv4Addr;
+
+/// Nanoseconds.
+pub type Nanos = u64;
+
+/// IP protocol number `rrp` rides on (unassigned space).
+pub const RRP_PROTOCOL: u8 = 81;
+
+/// Wire message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrpKind {
+    /// A request carrying a transaction id and payload.
+    Request,
+    /// The reply; implicitly acknowledges the request.
+    Reply,
+    /// Explicit acknowledgment of a reply (lets the server free state).
+    Ack,
+}
+
+impl RrpKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            RrpKind::Request => 1,
+            RrpKind::Reply => 2,
+            RrpKind::Ack => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<RrpKind> {
+        match v {
+            1 => Some(RrpKind::Request),
+            2 => Some(RrpKind::Reply),
+            3 => Some(RrpKind::Ack),
+            _ => None,
+        }
+    }
+}
+
+/// An `rrp` message: 8-byte header (kind, pad, client port, server port,
+/// transaction id) + payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RrpMessage {
+    /// Message type.
+    pub kind: RrpKind,
+    /// Client-side port.
+    pub client_port: u16,
+    /// Server-side port.
+    pub server_port: u16,
+    /// Transaction identifier (monotonic per client).
+    pub xid: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Header length.
+pub const RRP_HEADER_LEN: usize = 8;
+
+impl RrpMessage {
+    /// Serializes to wire bytes.
+    pub fn build(&self) -> Vec<u8> {
+        let mut v = vec![0u8; RRP_HEADER_LEN + self.payload.len()];
+        v[0] = self.kind.to_u8();
+        v[2..4].copy_from_slice(&self.client_port.to_be_bytes());
+        v[4..6].copy_from_slice(&self.server_port.to_be_bytes());
+        v[6..8].copy_from_slice(&self.xid.to_be_bytes());
+        v[RRP_HEADER_LEN..].copy_from_slice(&self.payload);
+        v
+    }
+
+    /// Parses from wire bytes.
+    pub fn parse(b: &[u8]) -> Option<RrpMessage> {
+        if b.len() < RRP_HEADER_LEN {
+            return None;
+        }
+        Some(RrpMessage {
+            kind: RrpKind::from_u8(b[0])?,
+            client_port: u16::from_be_bytes([b[2], b[3]]),
+            server_port: u16::from_be_bytes([b[4], b[5]]),
+            xid: u16::from_be_bytes([b[6], b[7]]),
+            payload: b[RRP_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+/// Client-side actions for the hosting glue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrpClientAction {
+    /// Transmit a message to the server address.
+    Send(Ipv4Addr, RrpMessage),
+    /// Arm the retransmission timer for an absolute deadline.
+    SetTimer(Nanos),
+    /// A reply arrived for the outstanding transaction.
+    Reply(Vec<u8>),
+    /// The transaction failed after all retries.
+    Failed,
+}
+
+/// The client half: one outstanding transaction at a time.
+pub struct RrpClient {
+    port: u16,
+    server: (Ipv4Addr, u16),
+    next_xid: u16,
+    outstanding: Option<(u16, Vec<u8>)>,
+    retries: u32,
+    max_retries: u32,
+    rto: Nanos,
+}
+
+impl RrpClient {
+    /// Creates a client talking to `server`.
+    pub fn new(port: u16, server: (Ipv4Addr, u16), rto: Nanos) -> RrpClient {
+        RrpClient {
+            port,
+            server,
+            next_xid: 1,
+            outstanding: None,
+            retries: 0,
+            max_retries: 5,
+            rto,
+        }
+    }
+
+    /// True if a transaction is in flight.
+    pub fn busy(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
+    /// Issues a request. Panics if one is already outstanding (callers
+    /// serialize — the protocol is single-transaction by design).
+    pub fn call(&mut self, payload: Vec<u8>, now: Nanos) -> Vec<RrpClientAction> {
+        assert!(self.outstanding.is_none(), "rrp client is single-call");
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1).max(1);
+        self.outstanding = Some((xid, payload.clone()));
+        self.retries = 0;
+        vec![
+            RrpClientAction::Send(
+                self.server.0,
+                RrpMessage {
+                    kind: RrpKind::Request,
+                    client_port: self.port,
+                    server_port: self.server.1,
+                    xid,
+                    payload,
+                },
+            ),
+            RrpClientAction::SetTimer(now + self.rto),
+        ]
+    }
+
+    /// Handles an incoming message addressed to this client port.
+    pub fn on_message(&mut self, msg: &RrpMessage, _now: Nanos) -> Vec<RrpClientAction> {
+        let Some((xid, _)) = self.outstanding else {
+            return Vec::new();
+        };
+        if msg.kind != RrpKind::Reply || msg.xid != xid || msg.client_port != self.port {
+            return Vec::new(); // stale or misdirected
+        }
+        self.outstanding = None;
+        // Idle client: explicitly ACK so the server can free state (a
+        // following call would implicitly do it in full VMTP; we keep the
+        // simple explicit form).
+        vec![
+            RrpClientAction::Send(
+                self.server.0,
+                RrpMessage {
+                    kind: RrpKind::Ack,
+                    client_port: self.port,
+                    server_port: self.server.1,
+                    xid,
+                    payload: Vec::new(),
+                },
+            ),
+            RrpClientAction::Reply(msg.payload.clone()),
+        ]
+    }
+
+    /// Retransmission timer fired.
+    pub fn on_timer(&mut self, now: Nanos) -> Vec<RrpClientAction> {
+        let Some((xid, ref payload)) = self.outstanding else {
+            return Vec::new();
+        };
+        self.retries += 1;
+        if self.retries > self.max_retries {
+            self.outstanding = None;
+            return vec![RrpClientAction::Failed];
+        }
+        vec![
+            RrpClientAction::Send(
+                self.server.0,
+                RrpMessage {
+                    kind: RrpKind::Request,
+                    client_port: self.port,
+                    server_port: self.server.1,
+                    xid,
+                    payload: payload.clone(),
+                },
+            ),
+            RrpClientAction::SetTimer(now + (self.rto << self.retries.min(4))),
+        ]
+    }
+}
+
+/// Server-side actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrpServerAction {
+    /// Transmit a message to a client address.
+    Send(Ipv4Addr, RrpMessage),
+    /// Deliver a request to the service; the glue calls
+    /// [`RrpServer::reply`] with the response payload.
+    Deliver {
+        /// Client address the request came from.
+        client: (Ipv4Addr, u16),
+        /// Transaction to answer.
+        xid: u16,
+        /// Request payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// Per-transaction server state for duplicate suppression and reply
+/// retransmission (at-most-once execution).
+#[derive(Debug, Clone)]
+enum TxnState {
+    /// Executing; duplicates are dropped.
+    InService,
+    /// Replied; duplicates re-send this cached reply.
+    Replied(Vec<u8>),
+}
+
+/// The server half: executes each transaction at most once.
+pub struct RrpServer {
+    port: u16,
+    txns: HashMap<(Ipv4Addr, u16, u16), TxnState>,
+}
+
+impl RrpServer {
+    /// Creates a server bound to `port`.
+    pub fn new(port: u16) -> RrpServer {
+        RrpServer {
+            port,
+            txns: HashMap::new(),
+        }
+    }
+
+    /// Handles an incoming message from `src`.
+    pub fn on_message(&mut self, src: Ipv4Addr, msg: &RrpMessage) -> Vec<RrpServerAction> {
+        if msg.server_port != self.port {
+            return Vec::new();
+        }
+        let key = (src, msg.client_port, msg.xid);
+        match msg.kind {
+            RrpKind::Request => match self.txns.get(&key) {
+                None => {
+                    self.txns.insert(key, TxnState::InService);
+                    vec![RrpServerAction::Deliver {
+                        client: (src, msg.client_port),
+                        xid: msg.xid,
+                        payload: msg.payload.clone(),
+                    }]
+                }
+                Some(TxnState::InService) => Vec::new(), // duplicate while busy
+                Some(TxnState::Replied(reply)) => vec![RrpServerAction::Send(
+                    src,
+                    RrpMessage {
+                        kind: RrpKind::Reply,
+                        client_port: msg.client_port,
+                        server_port: self.port,
+                        xid: msg.xid,
+                        payload: reply.clone(),
+                    },
+                )],
+            },
+            RrpKind::Ack => {
+                self.txns.remove(&key);
+                Vec::new()
+            }
+            RrpKind::Reply => Vec::new(), // nonsensical at a server
+        }
+    }
+
+    /// The service finished executing `xid` for `client`: emit the reply
+    /// and cache it for duplicate requests.
+    pub fn reply(
+        &mut self,
+        client: (Ipv4Addr, u16),
+        xid: u16,
+        payload: Vec<u8>,
+    ) -> Vec<RrpServerAction> {
+        let key = (client.0, client.1, xid);
+        self.txns.insert(key, TxnState::Replied(payload.clone()));
+        vec![RrpServerAction::Send(
+            client.0,
+            RrpMessage {
+                kind: RrpKind::Reply,
+                client_port: client.1,
+                server_port: self.port,
+                xid,
+                payload,
+            },
+        )]
+    }
+
+    /// Transactions currently held (for tests).
+    pub fn txn_count(&self) -> usize {
+        self.txns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn extract_send_c(actions: &[RrpClientAction]) -> Option<RrpMessage> {
+        actions.iter().find_map(|a| match a {
+            RrpClientAction::Send(_, m) => Some(m.clone()),
+            _ => None,
+        })
+    }
+
+    fn extract_send_s(actions: &[RrpServerAction]) -> Option<RrpMessage> {
+        actions.iter().find_map(|a| match a {
+            RrpServerAction::Send(_, m) => Some(m.clone()),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let m = RrpMessage {
+            kind: RrpKind::Request,
+            client_port: 7,
+            server_port: 9,
+            xid: 0x1234,
+            payload: b"call".to_vec(),
+        };
+        assert_eq!(RrpMessage::parse(&m.build()), Some(m));
+        assert_eq!(RrpMessage::parse(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn request_reply_ack_cycle() {
+        let mut client = RrpClient::new(100, (S, 9), 1_000_000);
+        let mut server = RrpServer::new(9);
+
+        let actions = client.call(b"ping".to_vec(), 0);
+        let req = extract_send_c(&actions).unwrap();
+        assert_eq!(req.kind, RrpKind::Request);
+
+        let sactions = server.on_message(C, &req);
+        let RrpServerAction::Deliver {
+            client: cl,
+            xid,
+            payload,
+        } = &sactions[0]
+        else {
+            panic!("expected delivery");
+        };
+        assert_eq!(payload, b"ping");
+        let reply_actions = server.reply(*cl, *xid, b"pong".to_vec());
+        let reply = extract_send_s(&reply_actions).unwrap();
+
+        let cactions = client.on_message(&reply, 10);
+        assert!(cactions
+            .iter()
+            .any(|a| matches!(a, RrpClientAction::Reply(p) if p == b"pong")));
+        let ack = extract_send_c(&cactions).unwrap();
+        assert_eq!(ack.kind, RrpKind::Ack);
+        assert!(!client.busy());
+
+        server.on_message(C, &ack);
+        assert_eq!(server.txn_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_request_resends_cached_reply_not_reexecute() {
+        let mut server = RrpServer::new(9);
+        let req = RrpMessage {
+            kind: RrpKind::Request,
+            client_port: 100,
+            server_port: 9,
+            xid: 1,
+            payload: b"x".to_vec(),
+        };
+        let a1 = server.on_message(C, &req);
+        assert!(matches!(a1[0], RrpServerAction::Deliver { .. }));
+        // Duplicate while in service: dropped.
+        assert!(server.on_message(C, &req).is_empty());
+        server.reply((C, 100), 1, b"answer".to_vec());
+        // Duplicate after reply: cached reply, no re-delivery.
+        let a3 = server.on_message(C, &req);
+        let m = extract_send_s(&a3).unwrap();
+        assert_eq!(m.kind, RrpKind::Reply);
+        assert_eq!(m.payload, b"answer");
+    }
+
+    #[test]
+    fn client_retransmits_then_fails() {
+        let mut client = RrpClient::new(100, (S, 9), 1_000_000);
+        client.call(b"lost".to_vec(), 0);
+        for i in 1..=5 {
+            let actions = client.on_timer(i * 1_000_000);
+            assert!(
+                extract_send_c(&actions).is_some(),
+                "retry {i} should retransmit"
+            );
+        }
+        let actions = client.on_timer(99_000_000);
+        assert_eq!(actions, vec![RrpClientAction::Failed]);
+        assert!(!client.busy());
+    }
+
+    #[test]
+    fn stale_reply_ignored() {
+        let mut client = RrpClient::new(100, (S, 9), 1_000_000);
+        client.call(b"a".to_vec(), 0);
+        let stale = RrpMessage {
+            kind: RrpKind::Reply,
+            client_port: 100,
+            server_port: 9,
+            xid: 999,
+            payload: vec![],
+        };
+        assert!(client.on_message(&stale, 1).is_empty());
+        assert!(client.busy());
+    }
+}

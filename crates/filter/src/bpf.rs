@@ -1,0 +1,283 @@
+//! A register-based packet filter virtual machine in the style of BPF
+//! (McCanne & Jacobson, *The BSD Packet Filter*, USENIX Winter '93 —
+//! the paper's reference \[17\]).
+//!
+//! Two registers (accumulator `A`, index `X`), absolute and indexed loads
+//! from the packet, conditional jumps with separate true/false targets, and
+//! a return instruction whose operand is the number of bytes to accept
+//! (zero = reject). Out-of-bounds loads terminate with reject, as in BPF.
+
+use crate::Demux;
+
+/// One BPF-style instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BpfInstr {
+    /// `A <- u32 at [k]` (big-endian).
+    LdWordAbs(u32),
+    /// `A <- u16 at [k]`.
+    LdHalfAbs(u32),
+    /// `A <- u8 at [k]`.
+    LdByteAbs(u32),
+    /// `A <- u16 at [X + k]`.
+    LdHalfInd(u32),
+    /// `A <- u8 at [X + k]`.
+    LdByteInd(u32),
+    /// `A <- k`.
+    LdImm(u32),
+    /// `X <- 4 * (u8 at [k] & 0x0f)` — the BPF "load IP header length" idiom.
+    LdxMsh(u32),
+    /// `A <- A & k`.
+    And(u32),
+    /// `A <- A >> k`.
+    Rsh(u32),
+    /// `A <- A + k`.
+    Add(u32),
+    /// If `A == k` jump `jt` instructions forward, else `jf`.
+    JmpEq { k: u32, jt: u8, jf: u8 },
+    /// If `A > k` jump `jt`, else `jf`.
+    JmpGt { k: u32, jt: u8, jf: u8 },
+    /// If `A & k != 0` jump `jt`, else `jf`.
+    JmpSet { k: u32, jt: u8, jf: u8 },
+    /// `X <- A`.
+    Tax,
+    /// `A <- X`.
+    Txa,
+    /// Accept `k` bytes (0 = reject).
+    Ret(u32),
+}
+
+/// A validated BPF program.
+#[derive(Debug, Clone)]
+pub struct BpfProgram {
+    instrs: Vec<BpfInstr>,
+}
+
+/// Errors from program validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BpfError {
+    /// A jump target lies beyond the end of the program.
+    JumpOutOfRange(usize),
+    /// The final instruction can fall through past the end.
+    NoTerminator,
+    /// The program is empty.
+    Empty,
+}
+
+impl BpfProgram {
+    /// Validates and wraps an instruction sequence. Programs must be
+    /// forward-jumping (BPF is a DAG, guaranteeing termination) and must
+    /// end in an unconditional return.
+    pub fn new(instrs: Vec<BpfInstr>) -> Result<BpfProgram, BpfError> {
+        if instrs.is_empty() {
+            return Err(BpfError::Empty);
+        }
+        for (pc, ins) in instrs.iter().enumerate() {
+            if let BpfInstr::JmpEq { jt, jf, .. }
+            | BpfInstr::JmpGt { jt, jf, .. }
+            | BpfInstr::JmpSet { jt, jf, .. } = ins
+            {
+                // Target is pc + 1 + offset.
+                if pc + 1 + *jt as usize > instrs.len() || pc + 1 + *jf as usize > instrs.len() {
+                    // Allow targets up to instrs.len()-1; equality with len
+                    // would fall off the end.
+                    if pc + 1 + *jt as usize > instrs.len() - 1
+                        || pc + 1 + *jf as usize > instrs.len() - 1
+                    {
+                        return Err(BpfError::JumpOutOfRange(pc));
+                    }
+                }
+            }
+        }
+        if !matches!(instrs.last(), Some(BpfInstr::Ret(_))) {
+            return Err(BpfError::NoTerminator);
+        }
+        Ok(BpfProgram { instrs })
+    }
+
+    /// Runs the program over `pkt`, returning the accepted byte count
+    /// (0 = reject). Out-of-bounds loads reject.
+    pub fn run(&self, pkt: &[u8]) -> u32 {
+        let mut a: u32 = 0;
+        let mut x: u32 = 0;
+        let mut pc = 0usize;
+        // Validation guarantees forward progress; bound defensively anyway.
+        let mut steps = 0;
+        while pc < self.instrs.len() && steps <= self.instrs.len() {
+            steps += 1;
+            macro_rules! load {
+                ($off:expr, $len:expr) => {{
+                    let off = $off as usize;
+                    match pkt.get(off..off + $len) {
+                        Some(b) => b,
+                        None => return 0,
+                    }
+                }};
+            }
+            match self.instrs[pc] {
+                BpfInstr::LdWordAbs(k) => {
+                    let b = load!(k, 4);
+                    a = u32::from_be_bytes([b[0], b[1], b[2], b[3]]);
+                }
+                BpfInstr::LdHalfAbs(k) => {
+                    let b = load!(k, 2);
+                    a = u32::from(u16::from_be_bytes([b[0], b[1]]));
+                }
+                BpfInstr::LdByteAbs(k) => {
+                    let b = load!(k, 1);
+                    a = u32::from(b[0]);
+                }
+                BpfInstr::LdHalfInd(k) => {
+                    let b = load!(x.wrapping_add(k), 2);
+                    a = u32::from(u16::from_be_bytes([b[0], b[1]]));
+                }
+                BpfInstr::LdByteInd(k) => {
+                    let b = load!(x.wrapping_add(k), 1);
+                    a = u32::from(b[0]);
+                }
+                BpfInstr::LdImm(k) => a = k,
+                BpfInstr::LdxMsh(k) => {
+                    let b = load!(k, 1);
+                    x = 4 * u32::from(b[0] & 0x0f);
+                }
+                BpfInstr::And(k) => a &= k,
+                BpfInstr::Rsh(k) => a = a.checked_shr(k).unwrap_or(0),
+                BpfInstr::Add(k) => a = a.wrapping_add(k),
+                BpfInstr::JmpEq { k, jt, jf } => {
+                    pc += 1 + if a == k { jt as usize } else { jf as usize };
+                    continue;
+                }
+                BpfInstr::JmpGt { k, jt, jf } => {
+                    pc += 1 + if a > k { jt as usize } else { jf as usize };
+                    continue;
+                }
+                BpfInstr::JmpSet { k, jt, jf } => {
+                    pc += 1 + if a & k != 0 { jt as usize } else { jf as usize };
+                    continue;
+                }
+                BpfInstr::Tax => x = a,
+                BpfInstr::Txa => a = x,
+                BpfInstr::Ret(k) => return k,
+            }
+            pc += 1;
+        }
+        0
+    }
+
+    /// The raw instruction slice.
+    pub fn instrs(&self) -> &[BpfInstr] {
+        &self.instrs
+    }
+}
+
+impl Demux for BpfProgram {
+    fn matches(&self, frame: &[u8]) -> bool {
+        self.run(frame) != 0
+    }
+
+    fn instruction_count(&self) -> usize {
+        self.instrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(BpfProgram::new(vec![]).err(), Some(BpfError::Empty));
+    }
+
+    #[test]
+    fn must_end_with_ret() {
+        assert_eq!(
+            BpfProgram::new(vec![BpfInstr::LdImm(1)]).err(),
+            Some(BpfError::NoTerminator)
+        );
+    }
+
+    #[test]
+    fn jump_out_of_range_rejected() {
+        let p = BpfProgram::new(vec![
+            BpfInstr::JmpEq { k: 0, jt: 5, jf: 0 },
+            BpfInstr::Ret(0),
+        ]);
+        assert_eq!(p.err(), Some(BpfError::JumpOutOfRange(0)));
+    }
+
+    #[test]
+    fn accept_reject_on_byte_value() {
+        let p = BpfProgram::new(vec![
+            BpfInstr::LdByteAbs(0),
+            BpfInstr::JmpEq {
+                k: 0xaa,
+                jt: 0,
+                jf: 1,
+            },
+            BpfInstr::Ret(u32::MAX),
+            BpfInstr::Ret(0),
+        ])
+        .unwrap();
+        assert_eq!(p.run(&[0xaa, 1, 2]), u32::MAX);
+        assert_eq!(p.run(&[0xab, 1, 2]), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_load_rejects() {
+        let p = BpfProgram::new(vec![BpfInstr::LdWordAbs(100), BpfInstr::Ret(1)]).unwrap();
+        assert_eq!(p.run(&[0u8; 10]), 0);
+    }
+
+    #[test]
+    fn indexed_load_via_msh() {
+        // X = 4*(pkt[0]&0xf); A = pkt[X+1]; accept if A == 7.
+        let p = BpfProgram::new(vec![
+            BpfInstr::LdxMsh(0),
+            BpfInstr::LdByteInd(1),
+            BpfInstr::JmpEq { k: 7, jt: 0, jf: 1 },
+            BpfInstr::Ret(1),
+            BpfInstr::Ret(0),
+        ])
+        .unwrap();
+        // pkt[0] = 0x42 -> x = 8; pkt[9] must be 7.
+        let mut pkt = [0u8; 16];
+        pkt[0] = 0x42;
+        pkt[9] = 7;
+        assert_eq!(p.run(&pkt), 1);
+        pkt[9] = 8;
+        assert_eq!(p.run(&pkt), 0);
+    }
+
+    #[test]
+    fn alu_ops() {
+        // A = pkt16[0] & 0x0fff >> 4 + 1, accept A.
+        let p = BpfProgram::new(vec![
+            BpfInstr::LdHalfAbs(0),
+            BpfInstr::And(0x0fff),
+            BpfInstr::Rsh(4),
+            BpfInstr::Add(1),
+            BpfInstr::Tax,
+            BpfInstr::Txa,
+            BpfInstr::Ret(5),
+        ])
+        .unwrap();
+        assert_eq!(p.run(&[0xab, 0xcd]), 5);
+    }
+
+    #[test]
+    fn jset() {
+        let p = BpfProgram::new(vec![
+            BpfInstr::LdHalfAbs(0),
+            BpfInstr::JmpSet {
+                k: 0x1fff,
+                jt: 1,
+                jf: 0,
+            },
+            BpfInstr::Ret(1), // bits clear
+            BpfInstr::Ret(0), // bits set
+        ])
+        .unwrap();
+        assert_eq!(p.run(&[0x20, 0x00]), 1, "only non-offset flag bits set");
+        assert_eq!(p.run(&[0x00, 0x01]), 0, "fragment offset nonzero");
+    }
+}

@@ -1,0 +1,196 @@
+//! A stack-machine packet filter in the style of the original CMU/Stanford
+//! Packet Filter (Mogul, Rashid & Accetta, SOSP '87 — the paper's
+//! reference \[18\]).
+//!
+//! "Filter programs composed of stack operations and operators are
+//! interpreted by a kernel-resident program at packet reception time."
+//! Operands are 16-bit words; the packet is addressed in 16-bit word
+//! offsets. Binary operators pop two operands and push the result; the
+//! short-circuit variants (`CAnd`/`COr`) can terminate early, as in the
+//! original design. The packet is accepted if the final stack top is
+//! nonzero (or the stack is empty).
+
+use crate::Demux;
+
+/// One CSPF instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CspfInstr {
+    /// Push a literal.
+    PushLit(u16),
+    /// Push the 16-bit packet word at word offset `k` (rejects if short).
+    PushWord(u16),
+    /// Pop b, pop a, push `a == b`.
+    Eq,
+    /// Pop b, pop a, push `a != b`.
+    Ne,
+    /// Pop b, pop a, push `a & b`.
+    And,
+    /// Pop b, pop a, push `a | b`.
+    Or,
+    /// Pop b, pop a, push `a < b` (unsigned).
+    Lt,
+    /// Pop b, pop a, push `a > b` (unsigned).
+    Gt,
+    /// Pop b, pop a: if `a == b` continue, else reject immediately
+    /// (the short-circuit "conjunctive" operator).
+    CandEq,
+    /// Pop b, pop a: if `a == b` accept immediately, else continue
+    /// (the short-circuit "disjunctive" operator).
+    CorEq,
+}
+
+/// A CSPF program.
+#[derive(Debug, Clone)]
+pub struct CspfProgram {
+    instrs: Vec<CspfInstr>,
+}
+
+impl CspfProgram {
+    /// Wraps an instruction list (no validation needed: the machine has no
+    /// jumps, so every program terminates).
+    pub fn new(instrs: Vec<CspfInstr>) -> CspfProgram {
+        CspfProgram { instrs }
+    }
+
+    /// Runs the filter. Stack underflow and short packets reject.
+    pub fn run(&self, pkt: &[u8]) -> bool {
+        let mut stack: Vec<u16> = Vec::with_capacity(8);
+        for ins in &self.instrs {
+            match *ins {
+                CspfInstr::PushLit(v) => stack.push(v),
+                CspfInstr::PushWord(w) => {
+                    let off = usize::from(w) * 2;
+                    match pkt.get(off..off + 2) {
+                        Some(b) => stack.push(u16::from_be_bytes([b[0], b[1]])),
+                        None => return false,
+                    }
+                }
+                CspfInstr::Eq
+                | CspfInstr::Ne
+                | CspfInstr::And
+                | CspfInstr::Or
+                | CspfInstr::Lt
+                | CspfInstr::Gt
+                | CspfInstr::CandEq
+                | CspfInstr::CorEq => {
+                    let (Some(b), Some(a)) = (stack.pop(), stack.pop()) else {
+                        return false;
+                    };
+                    match *ins {
+                        CspfInstr::Eq => stack.push(u16::from(a == b)),
+                        CspfInstr::Ne => stack.push(u16::from(a != b)),
+                        CspfInstr::And => stack.push(a & b),
+                        CspfInstr::Or => stack.push(a | b),
+                        CspfInstr::Lt => stack.push(u16::from(a < b)),
+                        CspfInstr::Gt => stack.push(u16::from(a > b)),
+                        CspfInstr::CandEq => {
+                            if a != b {
+                                return false;
+                            }
+                        }
+                        CspfInstr::CorEq => {
+                            if a == b {
+                                return true;
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        match stack.last() {
+            Some(&v) => v != 0,
+            None => true, // empty stack accepts, as in the original
+        }
+    }
+
+    /// The raw instruction slice.
+    pub fn instrs(&self) -> &[CspfInstr] {
+        &self.instrs
+    }
+}
+
+impl Demux for CspfProgram {
+    fn matches(&self, frame: &[u8]) -> bool {
+        self.run(frame)
+    }
+
+    fn instruction_count(&self) -> usize {
+        self.instrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CspfInstr::*;
+
+    #[test]
+    fn empty_program_accepts() {
+        assert!(CspfProgram::new(vec![]).run(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn literal_comparison() {
+        let p = CspfProgram::new(vec![PushLit(5), PushLit(5), Eq]);
+        assert!(p.run(&[]));
+        let p = CspfProgram::new(vec![PushLit(5), PushLit(6), Eq]);
+        assert!(!p.run(&[]));
+    }
+
+    #[test]
+    fn packet_word_addressing() {
+        // Word 1 = bytes 2..4.
+        let p = CspfProgram::new(vec![PushWord(1), PushLit(0x0304), Eq]);
+        assert!(p.run(&[1, 2, 3, 4]));
+        assert!(!p.run(&[1, 2, 3, 5]));
+    }
+
+    #[test]
+    fn short_packet_rejects() {
+        let p = CspfProgram::new(vec![PushWord(8), PushLit(0), Eq]);
+        assert!(!p.run(&[0u8; 4]));
+    }
+
+    #[test]
+    fn stack_underflow_rejects() {
+        let p = CspfProgram::new(vec![Eq]);
+        assert!(!p.run(&[0u8; 4]));
+        let p = CspfProgram::new(vec![PushLit(1), And]);
+        assert!(!p.run(&[0u8; 4]));
+    }
+
+    #[test]
+    fn cand_short_circuits() {
+        // First CandEq fails -> later out-of-range PushWord never runs.
+        let p = CspfProgram::new(vec![
+            PushLit(1),
+            PushLit(2),
+            CandEq,
+            PushWord(1000),
+            PushLit(0),
+            Eq,
+        ]);
+        assert!(!p.run(&[0u8; 4]));
+    }
+
+    #[test]
+    fn cor_short_circuits_accept() {
+        let p = CspfProgram::new(vec![PushLit(3), PushLit(3), CorEq, PushLit(0)]);
+        assert!(p.run(&[]));
+    }
+
+    #[test]
+    fn boolean_and_or_lt_gt_ne() {
+        let p = CspfProgram::new(vec![PushLit(0b1100), PushLit(0b1010), And]);
+        assert!(p.run(&[])); // 0b1000 != 0
+        let p = CspfProgram::new(vec![PushLit(0), PushLit(0), Or]);
+        assert!(!p.run(&[]));
+        let p = CspfProgram::new(vec![PushLit(1), PushLit(2), Lt]);
+        assert!(p.run(&[]));
+        let p = CspfProgram::new(vec![PushLit(1), PushLit(2), Gt]);
+        assert!(!p.run(&[]));
+        let p = CspfProgram::new(vec![PushLit(1), PushLit(2), Ne]);
+        assert!(p.run(&[]));
+    }
+}

@@ -1,0 +1,227 @@
+//! Generators for demultiplexing filter programs.
+//!
+//! The registry server installs one demux binding per connection endpoint
+//! (paper §3.2: "packet demultiplexing code within the network I/O module
+//! delivers packets to the correct and authorized end points"). These
+//! builders synthesize equivalent programs for each of the three demux
+//! technologies from a single [`DemuxSpec`].
+
+use unp_wire::{IpProtocol, Ipv4Addr};
+
+use crate::bpf::{BpfInstr, BpfProgram};
+use crate::cspf::{CspfInstr, CspfProgram};
+
+/// What an endpoint wants delivered: IPv4 packets of one transport protocol
+/// addressed to `local_ip:local_port`, optionally restricted to one remote
+/// peer (connected sockets) or wildcarded (listening sockets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemuxSpec {
+    /// Bytes of link header before the IP header (14 Ethernet, 16 AN1).
+    pub link_header_len: usize,
+    /// Transport protocol (TCP or UDP).
+    pub protocol: IpProtocol,
+    /// Local interface address packets must be addressed to.
+    pub local_ip: Ipv4Addr,
+    /// Local transport port.
+    pub local_port: u16,
+    /// Remote address for connected endpoints, `None` to wildcard.
+    pub remote_ip: Option<Ipv4Addr>,
+    /// Remote port for connected endpoints, `None` to wildcard.
+    pub remote_port: Option<u16>,
+}
+
+/// Builds a BPF program implementing `spec`.
+///
+/// Layout: a chain of checks falling through on success, each jumping to
+/// the trailing `Ret(0)` on failure; variable IP header length handled with
+/// the `LdxMsh` idiom exactly as real BPF demux programs do.
+#[allow(clippy::vec_init_then_push)] // the program reads as an assembly listing
+pub fn bpf_demux(spec: &DemuxSpec) -> BpfProgram {
+    let l = spec.link_header_len as u32;
+    // First pass: emit with jf = u8::MAX placeholder meaning "to reject".
+    const TO_REJECT: u8 = u8::MAX;
+    let mut ins: Vec<BpfInstr> = Vec::new();
+    ins.push(BpfInstr::LdHalfAbs(12));
+    ins.push(BpfInstr::JmpEq {
+        k: 0x0800,
+        jt: 0,
+        jf: TO_REJECT,
+    });
+    ins.push(BpfInstr::LdByteAbs(l + 9));
+    ins.push(BpfInstr::JmpEq {
+        k: u32::from(spec.protocol.to_u8()),
+        jt: 0,
+        jf: TO_REJECT,
+    });
+    // Reject non-first fragments: transport header absent.
+    ins.push(BpfInstr::LdHalfAbs(l + 6));
+    ins.push(BpfInstr::JmpSet {
+        k: 0x1fff,
+        jt: TO_REJECT,
+        jf: 0,
+    });
+    ins.push(BpfInstr::LdWordAbs(l + 16));
+    ins.push(BpfInstr::JmpEq {
+        k: spec.local_ip.to_u32(),
+        jt: 0,
+        jf: TO_REJECT,
+    });
+    if let Some(rip) = spec.remote_ip {
+        ins.push(BpfInstr::LdWordAbs(l + 12));
+        ins.push(BpfInstr::JmpEq {
+            k: rip.to_u32(),
+            jt: 0,
+            jf: TO_REJECT,
+        });
+    }
+    // X <- IP header length; ports are at X + l (+0 src, +2 dst).
+    ins.push(BpfInstr::LdxMsh(l));
+    ins.push(BpfInstr::LdHalfInd(l + 2));
+    ins.push(BpfInstr::JmpEq {
+        k: u32::from(spec.local_port),
+        jt: 0,
+        jf: TO_REJECT,
+    });
+    if let Some(rp) = spec.remote_port {
+        ins.push(BpfInstr::LdHalfInd(l));
+        ins.push(BpfInstr::JmpEq {
+            k: u32::from(rp),
+            jt: 0,
+            jf: TO_REJECT,
+        });
+    }
+    ins.push(BpfInstr::Ret(u32::MAX));
+    ins.push(BpfInstr::Ret(0));
+
+    // Patch placeholder jumps to target the trailing reject.
+    let reject = ins.len() - 1;
+    for (pc, i) in ins.iter_mut().enumerate() {
+        let fix = |off: &mut u8| {
+            if *off == TO_REJECT {
+                *off = (reject - pc - 1) as u8;
+            }
+        };
+        match i {
+            BpfInstr::JmpEq { jt, jf, .. }
+            | BpfInstr::JmpGt { jt, jf, .. }
+            | BpfInstr::JmpSet { jt, jf, .. } => {
+                fix(jt);
+                fix(jf);
+            }
+            _ => {}
+        }
+    }
+    BpfProgram::new(ins).expect("generated program is well-formed")
+}
+
+/// Builds a CSPF program implementing `spec`.
+///
+/// The stack machine has no indexed addressing (a genuine limitation of the
+/// original Packet Filter), so the program assumes an option-less 20-byte
+/// IP header — which our stack guarantees (`unp-wire` rejects options).
+/// `link_header_len` must be even (true for Ethernet 14 and AN1 16) because
+/// CSPF addresses the packet in 16-bit words.
+#[allow(clippy::vec_init_then_push)] // the program reads as an assembly listing
+pub fn cspf_demux(spec: &DemuxSpec) -> CspfProgram {
+    assert!(
+        spec.link_header_len.is_multiple_of(2),
+        "CSPF needs word alignment"
+    );
+    let l = spec.link_header_len as u16;
+    let w = |byte_off: u16| byte_off / 2;
+    let mut ins = Vec::new();
+    // EtherType == 0x0800.
+    ins.push(CspfInstr::PushWord(w(12)));
+    ins.push(CspfInstr::PushLit(0x0800));
+    ins.push(CspfInstr::CandEq);
+    // Low byte of (TTL, protocol) word == protocol.
+    ins.push(CspfInstr::PushWord(w(l + 8)));
+    ins.push(CspfInstr::PushLit(0x00ff));
+    ins.push(CspfInstr::And);
+    ins.push(CspfInstr::PushLit(u16::from(spec.protocol.to_u8())));
+    ins.push(CspfInstr::CandEq);
+    // Fragment offset bits must be zero.
+    ins.push(CspfInstr::PushWord(w(l + 6)));
+    ins.push(CspfInstr::PushLit(0x1fff));
+    ins.push(CspfInstr::And);
+    ins.push(CspfInstr::PushLit(0));
+    ins.push(CspfInstr::CandEq);
+    // Destination IP (two words).
+    let dip = spec.local_ip.0;
+    ins.push(CspfInstr::PushWord(w(l + 16)));
+    ins.push(CspfInstr::PushLit(u16::from_be_bytes([dip[0], dip[1]])));
+    ins.push(CspfInstr::CandEq);
+    ins.push(CspfInstr::PushWord(w(l + 18)));
+    ins.push(CspfInstr::PushLit(u16::from_be_bytes([dip[2], dip[3]])));
+    ins.push(CspfInstr::CandEq);
+    if let Some(rip) = spec.remote_ip {
+        ins.push(CspfInstr::PushWord(w(l + 12)));
+        ins.push(CspfInstr::PushLit(u16::from_be_bytes([rip.0[0], rip.0[1]])));
+        ins.push(CspfInstr::CandEq);
+        ins.push(CspfInstr::PushWord(w(l + 14)));
+        ins.push(CspfInstr::PushLit(u16::from_be_bytes([rip.0[2], rip.0[3]])));
+        ins.push(CspfInstr::CandEq);
+    }
+    // Ports, assuming IHL = 20.
+    ins.push(CspfInstr::PushWord(w(l + 22)));
+    ins.push(CspfInstr::PushLit(spec.local_port));
+    ins.push(CspfInstr::CandEq);
+    if let Some(rp) = spec.remote_port {
+        ins.push(CspfInstr::PushWord(w(l + 20)));
+        ins.push(CspfInstr::PushLit(rp));
+        ins.push(CspfInstr::CandEq);
+    }
+    // All conjuncts passed.
+    ins.push(CspfInstr::PushLit(1));
+    CspfProgram::new(ins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Demux;
+
+    #[test]
+    fn cspf_longer_than_bpf() {
+        // The stack machine needs more instructions for the same predicate —
+        // part of why the paper calls interpretation expensive.
+        let spec = DemuxSpec {
+            link_header_len: 14,
+            protocol: IpProtocol::Tcp,
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            local_port: 80,
+            remote_ip: Some(Ipv4Addr::new(10, 0, 0, 2)),
+            remote_port: Some(1234),
+        };
+        assert!(cspf_demux(&spec).instruction_count() > bpf_demux(&spec).instruction_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "word alignment")]
+    fn cspf_rejects_odd_link_header() {
+        let spec = DemuxSpec {
+            link_header_len: 13,
+            protocol: IpProtocol::Tcp,
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            local_port: 80,
+            remote_ip: None,
+            remote_port: None,
+        };
+        cspf_demux(&spec);
+    }
+
+    #[test]
+    fn an1_header_length_supported() {
+        let spec = DemuxSpec {
+            link_header_len: 16,
+            protocol: IpProtocol::Udp,
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            local_port: 9,
+            remote_ip: None,
+            remote_port: None,
+        };
+        // Programs build without panicking and reject garbage.
+        assert!(!bpf_demux(&spec).matches(&[0u8; 64]));
+        assert!(!cspf_demux(&spec).matches(&[0u8; 64]));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: the three demultiplexing technologies implement the
+//! same predicate, and the VMs never panic on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use unp_filter::programs::{bpf_demux, cspf_demux, DemuxSpec};
+use unp_filter::{BpfInstr, BpfProgram, CompiledDemux, CspfInstr, CspfProgram, Demux};
+use unp_wire::{
+    EtherType, EthernetRepr, IpProtocol, Ipv4Addr, Ipv4Repr, MacAddr, SeqNum, TcpFlags, TcpRepr,
+    UdpRepr,
+};
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    (0u8..4, 0u8..4).prop_map(|(a, b)| Ipv4Addr::new(10, 0, a, b))
+}
+
+fn build_frame(
+    tcp: bool,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    sport: u16,
+    dport: u16,
+    frag_offset: usize,
+) -> Vec<u8> {
+    let payload = if tcp {
+        TcpRepr {
+            src_port: sport,
+            dst_port: dport,
+            seq: SeqNum(1),
+            ack_num: SeqNum(0),
+            flags: TcpFlags::ack(),
+            window: 512,
+            mss: None,
+        }
+        .build_segment(src, dst, b"pp")
+    } else {
+        UdpRepr {
+            src_port: sport,
+            dst_port: dport,
+        }
+        .build_datagram(src, dst, b"pp")
+    };
+    let ip = Ipv4Repr {
+        frag_offset,
+        more_frags: frag_offset > 0,
+        ..Ipv4Repr::simple(
+            src,
+            dst,
+            if tcp {
+                IpProtocol::Tcp
+            } else {
+                IpProtocol::Udp
+            },
+            payload.len(),
+        )
+    };
+    EthernetRepr {
+        dst: MacAddr::from_host_index(2),
+        src: MacAddr::from_host_index(1),
+        ethertype: EtherType::Ipv4,
+    }
+    .build_frame(&ip.build_packet(&payload))
+}
+
+proptest! {
+    /// The generated BPF program, the generated CSPF program, and the
+    /// compiled matcher agree on every well-formed frame, for every spec.
+    #[test]
+    fn three_generations_agree(
+        spec_tcp in any::<bool>(),
+        local_ip in arb_ip(), local_port in 1u16..1024,
+        remote in proptest::option::of((arb_ip(), 1u16..1024)),
+        pkt_tcp in any::<bool>(),
+        src in arb_ip(), dst in arb_ip(),
+        sport in 1u16..1024, dport in 1u16..1024,
+        frag in prop_oneof![Just(0usize), Just(64usize)],
+    ) {
+        let spec = DemuxSpec {
+            link_header_len: 14,
+            protocol: if spec_tcp { IpProtocol::Tcp } else { IpProtocol::Udp },
+            local_ip,
+            local_port,
+            remote_ip: remote.map(|(ip, _)| ip),
+            remote_port: remote.map(|(_, p)| p),
+        };
+        let bpf = bpf_demux(&spec);
+        let cspf = cspf_demux(&spec);
+        let compiled = CompiledDemux::from_spec(&spec);
+        let frame = build_frame(pkt_tcp, src, dst, sport, dport, frag);
+        let a = bpf.matches(&frame);
+        let b = cspf.matches(&frame);
+        let c = compiled.matches(&frame);
+        prop_assert_eq!(a, c, "bpf vs compiled diverged");
+        prop_assert_eq!(b, c, "cspf vs compiled diverged");
+        // Sanity: an exact-match frame for the spec is accepted.
+        if frag == 0 && pkt_tcp == spec_tcp {
+            let exact = build_frame(
+                spec_tcp,
+                spec.remote_ip.unwrap_or(src),
+                local_ip,
+                spec.remote_port.unwrap_or(sport),
+                local_port,
+                0,
+            );
+            prop_assert!(compiled.matches(&exact));
+            prop_assert!(bpf.matches(&exact));
+            prop_assert!(cspf.matches(&exact));
+        }
+    }
+
+    /// Neither VM panics, loops, or reads out of bounds on arbitrary bytes
+    /// with arbitrary (structurally valid) programs.
+    #[test]
+    fn bpf_vm_total_on_arbitrary_packets(
+        pkt in proptest::collection::vec(any::<u8>(), 0..128),
+        k1 in any::<u32>(), k2 in any::<u32>(),
+    ) {
+        // A small program exercising loads, ALU, and branches.
+        let prog = BpfProgram::new(vec![
+            BpfInstr::LdHalfAbs(k1 % 64),
+            BpfInstr::And(0xffff),
+            BpfInstr::JmpGt { k: k2 % 1000, jt: 0, jf: 1 },
+            BpfInstr::LdxMsh(k1 % 32),
+            BpfInstr::LdByteInd(2),
+            BpfInstr::Ret(1),
+        ]).unwrap();
+        let _ = prog.run(&pkt); // must terminate without panicking
+    }
+
+    /// The CSPF interpreter is total as well.
+    #[test]
+    fn cspf_vm_total_on_arbitrary_packets(
+        pkt in proptest::collection::vec(any::<u8>(), 0..128),
+        words in proptest::collection::vec(any::<u16>(), 0..12),
+    ) {
+        // Alternate pushes and binary operators; underflow must reject,
+        // never panic.
+        let mut instrs = Vec::new();
+        for (i, w) in words.iter().enumerate() {
+            instrs.push(if i % 3 == 0 {
+                CspfInstr::PushWord(w % 70)
+            } else {
+                CspfInstr::PushLit(*w)
+            });
+            if i % 2 == 1 {
+                instrs.push(match w % 4 {
+                    0 => CspfInstr::Eq,
+                    1 => CspfInstr::And,
+                    2 => CspfInstr::Or,
+                    _ => CspfInstr::Lt,
+                });
+            }
+        }
+        let _ = CspfProgram::new(instrs).run(&pkt);
+    }
+}

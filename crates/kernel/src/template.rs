@@ -1,0 +1,251 @@
+//! Header templates: the transmit-side protection mechanism.
+//!
+//! "Impersonation is prevented by associating a header template with a send
+//! capability. When the network I/O module receives packets to be
+//! transmitted, it matches fields in the template against the packet
+//! header." The checks are "similar to those needed for address
+//! demultiplexing on incoming network packets" and deliberately violate
+//! strict layering — "we regard this as an acceptable cost for the benefit
+//! it provides" (paper §3.4).
+
+use unp_wire::{EtherType, IpProtocol, Ipv4Addr, MacAddr};
+
+/// Why a frame failed its template check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateViolation {
+    /// Frame shorter than the required headers.
+    Truncated,
+    /// Source MAC does not match.
+    SrcMac,
+    /// Destination MAC does not match.
+    DstMac,
+    /// EtherType mismatch.
+    EtherType,
+    /// Not a well-formed IPv4 header.
+    BadIp,
+    /// IP protocol mismatch.
+    Protocol,
+    /// Source IP mismatch (impersonation attempt).
+    SrcIp,
+    /// Destination IP mismatch.
+    DstIp,
+    /// Source port mismatch.
+    SrcPort,
+    /// Destination port mismatch.
+    DstPort,
+    /// AN1 buffer-queue-index mismatch.
+    Bqi,
+}
+
+/// The constraint set bound to one send capability.
+#[derive(Debug, Clone)]
+pub struct HeaderTemplate {
+    /// Link header length (14 Ethernet, 16 AN1).
+    pub link_header_len: usize,
+    /// Required source station, if pinned.
+    pub src_mac: Option<MacAddr>,
+    /// Required destination station, if pinned (connection-oriented
+    /// traffic pins it; `None` allows e.g. gateway rewrite).
+    pub dst_mac: Option<MacAddr>,
+    /// Required EtherType.
+    pub ethertype: EtherType,
+    /// Required IP protocol.
+    pub protocol: IpProtocol,
+    /// Required source address (the endpoint's own).
+    pub src_ip: Ipv4Addr,
+    /// Required destination address (the connection's peer).
+    pub dst_ip: Ipv4Addr,
+    /// Required source port.
+    pub src_port: u16,
+    /// Required destination port (None for connectionless sends).
+    pub dst_port: Option<u16>,
+    /// AN1 only: the BQI the library must stamp in the link header — the
+    /// value the peer's registry conveyed at connection setup.
+    pub bqi: Option<u16>,
+}
+
+impl HeaderTemplate {
+    /// Verifies a complete outgoing frame. A handful of field compares —
+    /// "usually, this code segment is quite short."
+    pub fn check(&self, frame: &[u8]) -> Result<(), TemplateViolation> {
+        let l = self.link_header_len;
+        if frame.len() < l + 20 + 4 {
+            return Err(TemplateViolation::Truncated);
+        }
+        if let Some(dst) = self.dst_mac {
+            if frame[0..6] != dst.0 {
+                return Err(TemplateViolation::DstMac);
+            }
+        }
+        if let Some(src) = self.src_mac {
+            if frame[6..12] != src.0 {
+                return Err(TemplateViolation::SrcMac);
+            }
+        }
+        let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+        if ethertype != self.ethertype.to_u16() {
+            return Err(TemplateViolation::EtherType);
+        }
+        if let Some(want_bqi) = self.bqi {
+            // The BQI field sits at offset 14 of the AN1 header.
+            if l < 16 {
+                return Err(TemplateViolation::Bqi);
+            }
+            let bqi = u16::from_be_bytes([frame[14], frame[15]]);
+            if bqi != want_bqi {
+                return Err(TemplateViolation::Bqi);
+            }
+        }
+        let ip = &frame[l..];
+        if ip[0] >> 4 != 4 {
+            return Err(TemplateViolation::BadIp);
+        }
+        let ihl = usize::from(ip[0] & 0x0f) * 4;
+        if ihl < 20 || ip.len() < ihl + 4 {
+            return Err(TemplateViolation::BadIp);
+        }
+        if ip[9] != self.protocol.to_u8() {
+            return Err(TemplateViolation::Protocol);
+        }
+        if ip[12..16] != self.src_ip.0 {
+            return Err(TemplateViolation::SrcIp);
+        }
+        if ip[16..20] != self.dst_ip.0 {
+            return Err(TemplateViolation::DstIp);
+        }
+        // Port checks apply only to first fragments (later fragments carry
+        // no transport header — and only first fragments can be emitted
+        // with ports anyway).
+        let frag_off = u16::from_be_bytes([ip[6], ip[7]]) & 0x1fff;
+        if frag_off == 0 {
+            let sport = u16::from_be_bytes([ip[ihl], ip[ihl + 1]]);
+            if sport != self.src_port {
+                return Err(TemplateViolation::SrcPort);
+            }
+            if let Some(dp) = self.dst_port {
+                let dport = u16::from_be_bytes([ip[ihl + 2], ip[ihl + 3]]);
+                if dport != dp {
+                    return Err(TemplateViolation::DstPort);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unp_wire::{An1Repr, EthernetRepr, Ipv4Repr, UdpRepr};
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn eth_template() -> HeaderTemplate {
+        HeaderTemplate {
+            link_header_len: 14,
+            src_mac: Some(MacAddr::from_host_index(1)),
+            dst_mac: Some(MacAddr::from_host_index(2)),
+            ethertype: EtherType::Ipv4,
+            protocol: IpProtocol::Udp,
+            src_ip: SRC,
+            dst_ip: DST,
+            src_port: 1000,
+            dst_port: Some(53),
+            bqi: None,
+        }
+    }
+
+    fn udp_eth_frame(src_ip: Ipv4Addr, sport: u16, dport: u16) -> Vec<u8> {
+        let d = UdpRepr {
+            src_port: sport,
+            dst_port: dport,
+        }
+        .build_datagram(src_ip, DST, b"x");
+        let ip = Ipv4Repr::simple(src_ip, DST, IpProtocol::Udp, d.len());
+        EthernetRepr {
+            dst: MacAddr::from_host_index(2),
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Ipv4,
+        }
+        .build_frame(&ip.build_packet(&d))
+    }
+
+    #[test]
+    fn conforming_frame_passes() {
+        assert_eq!(eth_template().check(&udp_eth_frame(SRC, 1000, 53)), Ok(()));
+    }
+
+    #[test]
+    fn each_field_violation_detected() {
+        let t = eth_template();
+        assert_eq!(
+            t.check(&udp_eth_frame(Ipv4Addr::new(9, 9, 9, 9), 1000, 53)),
+            Err(TemplateViolation::SrcIp)
+        );
+        assert_eq!(
+            t.check(&udp_eth_frame(SRC, 1001, 53)),
+            Err(TemplateViolation::SrcPort)
+        );
+        assert_eq!(
+            t.check(&udp_eth_frame(SRC, 1000, 54)),
+            Err(TemplateViolation::DstPort)
+        );
+        assert_eq!(t.check(&[0u8; 10]), Err(TemplateViolation::Truncated));
+    }
+
+    #[test]
+    fn wrong_macs_and_ethertype_detected() {
+        let t = eth_template();
+        let mut f = udp_eth_frame(SRC, 1000, 53);
+        f[6] ^= 0xff;
+        assert_eq!(t.check(&f), Err(TemplateViolation::SrcMac));
+        let mut f = udp_eth_frame(SRC, 1000, 53);
+        f[0] ^= 0xff;
+        assert_eq!(t.check(&f), Err(TemplateViolation::DstMac));
+        let mut f = udp_eth_frame(SRC, 1000, 53);
+        f[13] = 0x06;
+        assert_eq!(t.check(&f), Err(TemplateViolation::EtherType));
+    }
+
+    #[test]
+    fn an1_bqi_enforced() {
+        let t = HeaderTemplate {
+            link_header_len: 18,
+            bqi: Some(5),
+            src_mac: None,
+            dst_mac: None,
+            ..eth_template()
+        };
+        let build = |bqi: u16| {
+            let d = UdpRepr {
+                src_port: 1000,
+                dst_port: 53,
+            }
+            .build_datagram(SRC, DST, b"x");
+            let ip = Ipv4Repr::simple(SRC, DST, IpProtocol::Udp, d.len());
+            An1Repr {
+                dst: MacAddr::from_host_index(2),
+                src: MacAddr::from_host_index(1),
+                ethertype: EtherType::Ipv4,
+                bqi,
+                announce: 0,
+            }
+            .build_frame(&ip.build_packet(&d))
+        };
+        assert_eq!(t.check(&build(5)), Ok(()));
+        assert_eq!(t.check(&build(6)), Err(TemplateViolation::Bqi));
+        // Forging BQI 0 (kernel memory) is also refused.
+        assert_eq!(t.check(&build(0)), Err(TemplateViolation::Bqi));
+    }
+
+    #[test]
+    fn wildcard_dst_port_allows_any() {
+        let t = HeaderTemplate {
+            dst_port: None,
+            ..eth_template()
+        };
+        assert_eq!(t.check(&udp_eth_frame(SRC, 1000, 53)), Ok(()));
+        assert_eq!(t.check(&udp_eth_frame(SRC, 1000, 9999)), Ok(()));
+    }
+}

@@ -1,0 +1,240 @@
+//! The ARP library: cache, resolution, and reply generation.
+//!
+//! Behaviour matches the long-standing defaults (also smoltcp's): cached
+//! entries expire after one minute, requests for one protocol address are
+//! sent at most once per second, and gratuitous/unsolicited replies from
+//! the wire refresh the cache.
+
+use std::collections::HashMap;
+
+use unp_wire::{ArpOp, ArpRepr, Ipv4Addr, MacAddr};
+
+use crate::Nanos;
+
+/// Entry lifetime: one minute.
+pub const ARP_ENTRY_TTL: Nanos = 60_000_000_000;
+/// Minimum interval between requests for the same address: one second.
+pub const ARP_REQUEST_INTERVAL: Nanos = 1_000_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    mac: MacAddr,
+    expires: Nanos,
+}
+
+/// Result of a resolution attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArpResult {
+    /// The address resolved from cache.
+    Hit(MacAddr),
+    /// Unresolved; if `request` is set, the caller should broadcast it
+    /// (rate limiting already applied).
+    Miss {
+        /// A who-has request to broadcast, or `None` if one was sent within
+        /// the last [`ARP_REQUEST_INTERVAL`].
+        request: Option<ArpRepr>,
+    },
+}
+
+/// The ARP protocol state for one interface.
+#[derive(Debug)]
+pub struct ArpCache {
+    our_mac: MacAddr,
+    our_ip: Ipv4Addr,
+    entries: HashMap<Ipv4Addr, Entry>,
+    last_request: HashMap<Ipv4Addr, Nanos>,
+}
+
+impl ArpCache {
+    /// Creates the ARP state for an interface owning `(mac, ip)`.
+    pub fn new(our_mac: MacAddr, our_ip: Ipv4Addr) -> ArpCache {
+        ArpCache {
+            our_mac,
+            our_ip,
+            entries: HashMap::new(),
+            last_request: HashMap::new(),
+        }
+    }
+
+    /// Looks up `ip`, possibly producing a rate-limited request to send.
+    pub fn resolve(&mut self, ip: Ipv4Addr, now: Nanos) -> ArpResult {
+        if let Some(e) = self.entries.get(&ip) {
+            if e.expires > now {
+                return ArpResult::Hit(e.mac);
+            }
+            self.entries.remove(&ip);
+        }
+        let may_request = match self.last_request.get(&ip) {
+            Some(&t) => now >= t + ARP_REQUEST_INTERVAL,
+            None => true,
+        };
+        let request = may_request.then(|| {
+            self.last_request.insert(ip, now);
+            ArpRepr {
+                op: ArpOp::Request,
+                sender_mac: self.our_mac,
+                sender_ip: self.our_ip,
+                target_mac: MacAddr::ZERO,
+                target_ip: ip,
+            }
+        });
+        ArpResult::Miss { request }
+    }
+
+    /// Processes a received ARP packet: refreshes the cache from the sender
+    /// fields and returns a reply if the packet is a request for us.
+    pub fn input(&mut self, pkt: &ArpRepr, now: Nanos) -> Option<ArpRepr> {
+        // Learn the sender mapping (including gratuitous ARP).
+        if pkt.sender_mac.is_unicast() && !pkt.sender_ip.is_unspecified() {
+            self.entries.insert(
+                pkt.sender_ip,
+                Entry {
+                    mac: pkt.sender_mac,
+                    expires: now + ARP_ENTRY_TTL,
+                },
+            );
+            self.last_request.remove(&pkt.sender_ip);
+        }
+        match pkt.op {
+            ArpOp::Request if pkt.target_ip == self.our_ip => Some(ArpRepr {
+                op: ArpOp::Reply,
+                sender_mac: self.our_mac,
+                sender_ip: self.our_ip,
+                target_mac: pkt.sender_mac,
+                target_ip: pkt.sender_ip,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Number of live cache entries (expired ones may linger until touched).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a static entry (used by tests and by the registry to seed
+    /// well-known peers).
+    pub fn insert_static(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.entries.insert(
+            ip,
+            Entry {
+                mac,
+                expires: Nanos::MAX,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Nanos = 1_000_000_000;
+
+    fn cache() -> ArpCache {
+        ArpCache::new(MacAddr::from_host_index(1), Ipv4Addr::new(10, 0, 0, 1))
+    }
+
+    #[test]
+    fn miss_generates_request_then_rate_limits() {
+        let mut c = cache();
+        let peer = Ipv4Addr::new(10, 0, 0, 2);
+        let ArpResult::Miss { request: Some(req) } = c.resolve(peer, 0) else {
+            panic!("expected miss with request");
+        };
+        assert_eq!(req.op, ArpOp::Request);
+        assert_eq!(req.target_ip, peer);
+        // Second resolve within 1 s: no request.
+        assert_eq!(c.resolve(peer, SEC / 2), ArpResult::Miss { request: None });
+        // After the interval: request again.
+        let ArpResult::Miss { request: Some(_) } = c.resolve(peer, SEC) else {
+            panic!("expected rate limit to expire");
+        };
+    }
+
+    #[test]
+    fn reply_populates_cache() {
+        let mut c = cache();
+        let peer_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let peer_mac = MacAddr::from_host_index(2);
+        let reply = ArpRepr {
+            op: ArpOp::Reply,
+            sender_mac: peer_mac,
+            sender_ip: peer_ip,
+            target_mac: c.our_mac,
+            target_ip: c.our_ip,
+        };
+        assert_eq!(c.input(&reply, 0), None);
+        assert_eq!(c.resolve(peer_ip, 1), ArpResult::Hit(peer_mac));
+    }
+
+    #[test]
+    fn entries_expire_after_one_minute() {
+        let mut c = cache();
+        let peer_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let peer_mac = MacAddr::from_host_index(2);
+        c.input(
+            &ArpRepr {
+                op: ArpOp::Reply,
+                sender_mac: peer_mac,
+                sender_ip: peer_ip,
+                target_mac: c.our_mac,
+                target_ip: c.our_ip,
+            },
+            0,
+        );
+        assert_eq!(c.resolve(peer_ip, 59 * SEC), ArpResult::Hit(peer_mac));
+        assert!(matches!(
+            c.resolve(peer_ip, 61 * SEC),
+            ArpResult::Miss { request: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn request_for_us_answered_and_learned() {
+        let mut c = cache();
+        let asker_mac = MacAddr::from_host_index(3);
+        let asker_ip = Ipv4Addr::new(10, 0, 0, 3);
+        let req = ArpRepr {
+            op: ArpOp::Request,
+            sender_mac: asker_mac,
+            sender_ip: asker_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip: c.our_ip,
+        };
+        let reply = c.input(&req, 0).expect("should answer");
+        assert_eq!(reply.op, ArpOp::Reply);
+        assert_eq!(reply.target_mac, asker_mac);
+        assert_eq!(reply.sender_ip, c.our_ip);
+        // We also learned the asker's mapping.
+        assert_eq!(c.resolve(asker_ip, 1), ArpResult::Hit(asker_mac));
+    }
+
+    #[test]
+    fn request_for_someone_else_ignored_but_learned() {
+        let mut c = cache();
+        let req = ArpRepr {
+            op: ArpOp::Request,
+            sender_mac: MacAddr::from_host_index(3),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 3),
+            target_mac: MacAddr::ZERO,
+            target_ip: Ipv4Addr::new(10, 0, 0, 99),
+        };
+        assert_eq!(c.input(&req, 0), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn static_entries_never_expire() {
+        let mut c = cache();
+        let ip = Ipv4Addr::new(10, 0, 0, 50);
+        let mac = MacAddr::from_host_index(50);
+        c.insert_static(ip, mac);
+        assert_eq!(c.resolve(ip, u64::MAX - 1), ArpResult::Hit(mac));
+    }
+}

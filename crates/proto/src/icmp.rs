@@ -1,0 +1,98 @@
+//! The ICMP library: echo responder and error generation.
+
+use unp_wire::{IcmpPacket, IcmpRepr, WireError};
+
+/// Processes an incoming ICMP message body. Echo requests produce a reply
+/// to send back; other messages produce `Ok(None)` (delivered upward or
+/// dropped per policy — we follow smoltcp in not propagating protocol
+/// unreachables).
+pub fn icmp_input(payload: &[u8]) -> Result<Option<IcmpRepr>, WireError> {
+    let pkt = IcmpPacket::new_checked(payload)?;
+    match IcmpRepr::parse(&pkt)? {
+        IcmpRepr::Echo {
+            request: true,
+            ident,
+            seq,
+            data,
+        } => Ok(Some(IcmpRepr::Echo {
+            request: false,
+            ident,
+            seq,
+            data,
+        })),
+        _ => Ok(None),
+    }
+}
+
+/// Builds the "port unreachable" error for a rejected UDP datagram: the
+/// original IP header plus the first 8 payload bytes, per RFC 792.
+pub fn port_unreachable(original_ip_packet: &[u8]) -> IcmpRepr {
+    let keep = original_ip_packet.len().min(20 + 8);
+    IcmpRepr::DestUnreachable {
+        code: IcmpRepr::PORT_UNREACHABLE,
+        original: original_ip_packet[..keep].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_request_answered() {
+        let req = IcmpRepr::Echo {
+            request: true,
+            ident: 42,
+            seq: 3,
+            data: b"abcdefgh".to_vec(),
+        };
+        let reply = icmp_input(&req.build()).unwrap().expect("reply");
+        match reply {
+            IcmpRepr::Echo {
+                request,
+                ident,
+                seq,
+                data,
+            } => {
+                assert!(!request);
+                assert_eq!((ident, seq), (42, 3));
+                assert_eq!(data, b"abcdefgh");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_reply_not_reanswered() {
+        let rep = IcmpRepr::Echo {
+            request: false,
+            ident: 1,
+            seq: 1,
+            data: vec![],
+        };
+        assert_eq!(icmp_input(&rep.build()).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_icmp_rejected() {
+        let mut bytes = IcmpRepr::Echo {
+            request: true,
+            ident: 1,
+            seq: 1,
+            data: vec![7; 4],
+        }
+        .build();
+        bytes[9] ^= 1;
+        assert!(icmp_input(&bytes).is_err());
+    }
+
+    #[test]
+    fn port_unreachable_truncates_to_28_bytes() {
+        let original = vec![0xabu8; 100];
+        let IcmpRepr::DestUnreachable { code, original: o } = port_unreachable(&original) else {
+            panic!()
+        };
+        assert_eq!(code, IcmpRepr::PORT_UNREACHABLE);
+        assert_eq!(o.len(), 28);
+    }
+}

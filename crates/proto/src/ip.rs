@@ -1,0 +1,393 @@
+//! The IP library: end-host routing, fragmentation, and reassembly.
+//!
+//! Like the paper's IP library, this implements end-host functions only —
+//! "our IP library does not implement the functions required for handling
+//! gateway traffic" — so there is no forwarding path; datagrams are either
+//! for us or emitted by us.
+
+use std::collections::HashMap;
+
+use unp_wire::{IpProtocol, Ipv4Addr, Ipv4Packet, Ipv4Repr, WireError, IPV4_HEADER_LEN};
+
+use crate::Nanos;
+
+/// Reassembly timeout: 30 s (BSD-era default range 15–60 s).
+pub const REASSEMBLY_TIMEOUT: Nanos = 30_000_000_000;
+/// Maximum buffered reassemblies before the oldest is evicted.
+pub const MAX_REASSEMBLIES: usize = 16;
+
+/// Where a datagram to `dst` should be sent at the link layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextHop {
+    /// Deliver on the local network directly to the destination.
+    OnLink(Ipv4Addr),
+    /// Send via the default gateway.
+    Gateway(Ipv4Addr),
+    /// Link-level broadcast.
+    Broadcast,
+    /// No route (no gateway configured and off-link).
+    Unreachable,
+}
+
+/// Result of processing one received IP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpRecv {
+    /// A complete datagram for us.
+    Complete {
+        /// Transport protocol.
+        protocol: IpProtocol,
+        /// Sender address.
+        src: Ipv4Addr,
+        /// Destination address (ours or broadcast).
+        dst: Ipv4Addr,
+        /// Reassembled payload.
+        payload: Vec<u8>,
+    },
+    /// A fragment was absorbed; more are needed.
+    FragmentHeld,
+    /// The packet was not addressed to us.
+    NotForUs,
+    /// The packet failed parsing.
+    Bad(WireError),
+}
+
+#[derive(Debug)]
+struct Reassembly {
+    /// (offset, bytes) segments received so far.
+    pieces: Vec<(usize, Vec<u8>)>,
+    /// Total length once the last fragment arrives, if known.
+    total_len: Option<usize>,
+    protocol: IpProtocol,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    deadline: Nanos,
+}
+
+impl Reassembly {
+    /// Returns the payload if every byte of `[0, total_len)` is covered.
+    fn try_complete(&self) -> Option<Vec<u8>> {
+        let total = self.total_len?;
+        let mut buf = vec![0u8; total];
+        let mut covered = vec![false; total];
+        for (off, bytes) in &self.pieces {
+            let end = off + bytes.len();
+            if end > total {
+                return None; // inconsistent lengths; wait for timeout
+            }
+            buf[*off..end].copy_from_slice(bytes);
+            covered[*off..end].iter_mut().for_each(|c| *c = true);
+        }
+        covered.iter().all(|&c| c).then_some(buf)
+    }
+}
+
+/// Per-interface IP endpoint state.
+#[derive(Debug)]
+pub struct IpEndpoint {
+    addr: Ipv4Addr,
+    prefix_len: u8,
+    gateway: Option<Ipv4Addr>,
+    next_ident: u16,
+    reassembling: HashMap<(Ipv4Addr, Ipv4Addr, u8, u16), Reassembly>,
+}
+
+impl IpEndpoint {
+    /// Creates an endpoint with address `addr/prefix_len` and an optional
+    /// default gateway.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8, gateway: Option<Ipv4Addr>) -> IpEndpoint {
+        IpEndpoint {
+            addr,
+            prefix_len,
+            gateway,
+            next_ident: 1,
+            reassembling: HashMap::new(),
+        }
+    }
+
+    /// Our address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Chooses the next hop for `dst`.
+    pub fn route(&self, dst: Ipv4Addr) -> NextHop {
+        if dst.is_broadcast() {
+            NextHop::Broadcast
+        } else if dst.same_network(&self.addr, self.prefix_len) {
+            NextHop::OnLink(dst)
+        } else if let Some(gw) = self.gateway {
+            NextHop::Gateway(gw)
+        } else {
+            NextHop::Unreachable
+        }
+    }
+
+    /// Builds the IP datagram(s) carrying `payload`, fragmenting to `mtu`.
+    /// Returns full packets (header + data) ready for link encapsulation.
+    pub fn send(
+        &mut self,
+        protocol: IpProtocol,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        mtu: usize,
+    ) -> Vec<Vec<u8>> {
+        let ident = self.next_ident;
+        self.next_ident = self.next_ident.wrapping_add(1).max(1);
+        let max_frag_payload = (mtu - IPV4_HEADER_LEN) & !7; // 8-byte aligned
+        if payload.len() + IPV4_HEADER_LEN <= mtu {
+            let repr = Ipv4Repr {
+                ident,
+                ..Ipv4Repr::simple(self.addr, dst, protocol, payload.len())
+            };
+            return vec![repr.build_packet(payload)];
+        }
+        let mut out = Vec::new();
+        let mut off = 0;
+        while off < payload.len() {
+            let take = max_frag_payload.min(payload.len() - off);
+            let more = off + take < payload.len();
+            let repr = Ipv4Repr {
+                ident,
+                more_frags: more,
+                frag_offset: off,
+                ..Ipv4Repr::simple(self.addr, dst, protocol, take)
+            };
+            out.push(repr.build_packet(&payload[off..off + take]));
+            off += take;
+        }
+        out
+    }
+
+    /// Processes one received IP packet (raw bytes including the header).
+    pub fn receive(&mut self, bytes: &[u8], now: Nanos) -> IpRecv {
+        self.expire(now);
+        let pkt = match Ipv4Packet::new_checked(bytes) {
+            Ok(p) => p,
+            Err(e) => return IpRecv::Bad(e),
+        };
+        let dst = pkt.dst();
+        if dst != self.addr && !dst.is_broadcast() {
+            return IpRecv::NotForUs;
+        }
+        let repr = Ipv4Repr::parse(&pkt);
+        if !repr.more_frags && repr.frag_offset == 0 {
+            return IpRecv::Complete {
+                protocol: repr.protocol,
+                src: repr.src,
+                dst,
+                payload: pkt.payload().to_vec(),
+            };
+        }
+        // Fragment path.
+        let key = (repr.src, dst, repr.protocol.to_u8(), repr.ident);
+        if !self.reassembling.contains_key(&key) && self.reassembling.len() >= MAX_REASSEMBLIES {
+            // Evict the oldest to bound memory.
+            if let Some(oldest) = self
+                .reassembling
+                .iter()
+                .min_by_key(|(_, r)| r.deadline)
+                .map(|(k, _)| *k)
+            {
+                self.reassembling.remove(&oldest);
+            }
+        }
+        let entry = self.reassembling.entry(key).or_insert_with(|| Reassembly {
+            pieces: Vec::new(),
+            total_len: None,
+            protocol: repr.protocol,
+            src: repr.src,
+            dst,
+            deadline: now + REASSEMBLY_TIMEOUT,
+        });
+        entry
+            .pieces
+            .push((repr.frag_offset, pkt.payload().to_vec()));
+        if !repr.more_frags {
+            entry.total_len = Some(repr.frag_offset + pkt.payload().len());
+        }
+        if let Some(payload) = entry.try_complete() {
+            let r = self.reassembling.remove(&key).expect("present");
+            IpRecv::Complete {
+                protocol: r.protocol,
+                src: r.src,
+                dst: r.dst,
+                payload,
+            }
+        } else {
+            IpRecv::FragmentHeld
+        }
+    }
+
+    /// Drops reassemblies past their deadline.
+    fn expire(&mut self, now: Nanos) {
+        self.reassembling.retain(|_, r| r.deadline > now);
+    }
+
+    /// Number of in-progress reassemblies (for tests and stats).
+    pub fn reassembly_count(&self) -> usize {
+        self.reassembling.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep() -> IpEndpoint {
+        IpEndpoint::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            24,
+            Some(Ipv4Addr::new(10, 0, 0, 254)),
+        )
+    }
+
+    #[test]
+    fn routing_decisions() {
+        let e = ep();
+        assert_eq!(
+            e.route(Ipv4Addr::new(10, 0, 0, 9)),
+            NextHop::OnLink(Ipv4Addr::new(10, 0, 0, 9))
+        );
+        assert_eq!(
+            e.route(Ipv4Addr::new(192, 168, 1, 1)),
+            NextHop::Gateway(Ipv4Addr::new(10, 0, 0, 254))
+        );
+        assert_eq!(e.route(Ipv4Addr::BROADCAST), NextHop::Broadcast);
+        let no_gw = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 1), 24, None);
+        assert_eq!(no_gw.route(Ipv4Addr::new(9, 9, 9, 9)), NextHop::Unreachable);
+    }
+
+    #[test]
+    fn small_datagram_single_packet() {
+        let mut e = ep();
+        let pkts = e.send(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 2), b"hi", 1500);
+        assert_eq!(pkts.len(), 1);
+        let mut rx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        match rx.receive(&pkts[0], 0) {
+            IpRecv::Complete {
+                protocol, payload, ..
+            } => {
+                assert_eq!(protocol, IpProtocol::Udp);
+                assert_eq!(payload, b"hi");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fragmentation_and_reassembly_roundtrip() {
+        let mut tx = ep();
+        let payload: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
+        let pkts = tx.send(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 2), &payload, 1500);
+        assert!(pkts.len() >= 3);
+        let mut rx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        let mut result = None;
+        for p in &pkts {
+            match rx.receive(p, 0) {
+                IpRecv::Complete { payload, .. } => result = Some(payload),
+                IpRecv::FragmentHeld => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(result.expect("reassembled"), payload);
+        assert_eq!(rx.reassembly_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_fragments_reassemble() {
+        let mut tx = ep();
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i % 7) as u8).collect();
+        let mut pkts = tx.send(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 2), &payload, 1500);
+        pkts.reverse();
+        let mut rx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        let mut result = None;
+        for p in &pkts {
+            if let IpRecv::Complete { payload, .. } = rx.receive(p, 0) {
+                result = Some(payload);
+            }
+        }
+        assert_eq!(result.expect("reassembled"), payload);
+    }
+
+    #[test]
+    fn duplicate_fragments_harmless() {
+        let mut tx = ep();
+        let payload = vec![9u8; 2500];
+        let pkts = tx.send(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 2), &payload, 1500);
+        let mut rx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        assert_eq!(rx.receive(&pkts[0], 0), IpRecv::FragmentHeld);
+        assert_eq!(rx.receive(&pkts[0], 0), IpRecv::FragmentHeld);
+        if let IpRecv::Complete { payload: p, .. } = rx.receive(&pkts[1], 0) {
+            assert_eq!(p, payload);
+        } else {
+            panic!("should complete");
+        }
+    }
+
+    #[test]
+    fn reassembly_times_out() {
+        let mut tx = ep();
+        let payload = vec![1u8; 2500];
+        let pkts = tx.send(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 2), &payload, 1500);
+        let mut rx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        assert_eq!(rx.receive(&pkts[0], 0), IpRecv::FragmentHeld);
+        assert_eq!(rx.reassembly_count(), 1);
+        // The final fragment arrives after the timeout: the held state is
+        // gone, so it alone cannot complete.
+        assert_eq!(
+            rx.receive(&pkts[1], REASSEMBLY_TIMEOUT + 1),
+            IpRecv::FragmentHeld
+        );
+    }
+
+    #[test]
+    fn not_for_us() {
+        let mut tx = ep();
+        let pkts = tx.send(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 99), b"x", 1500);
+        let mut rx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        assert_eq!(rx.receive(&pkts[0], 0), IpRecv::NotForUs);
+    }
+
+    #[test]
+    fn broadcast_accepted() {
+        let mut tx = ep();
+        let pkts = tx.send(IpProtocol::Udp, Ipv4Addr::BROADCAST, b"b", 1500);
+        let mut rx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        assert!(matches!(rx.receive(&pkts[0], 0), IpRecv::Complete { .. }));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut rx = ep();
+        assert!(matches!(rx.receive(&[0u8; 10], 0), IpRecv::Bad(_)));
+    }
+
+    #[test]
+    fn fragment_offsets_are_8_byte_aligned() {
+        let mut tx = ep();
+        let payload = vec![0u8; 5000];
+        let pkts = tx.send(IpProtocol::Tcp, Ipv4Addr::new(10, 0, 0, 2), &payload, 576);
+        for p in &pkts {
+            let pkt = Ipv4Packet::new_checked(&p[..]).unwrap();
+            assert_eq!(pkt.frag_offset() % 8, 0);
+            assert!(p.len() <= 576);
+        }
+    }
+
+    #[test]
+    fn reassembly_table_bounded() {
+        let mut rx = ep();
+        let mut tx = IpEndpoint::new(Ipv4Addr::new(10, 0, 0, 2), 24, None);
+        for _ in 0..(MAX_REASSEMBLIES + 5) {
+            let pkts = tx.send(
+                IpProtocol::Udp,
+                Ipv4Addr::new(10, 0, 0, 1),
+                &vec![0u8; 2000],
+                1500,
+            );
+            // Only deliver the first fragment of each, leaving it incomplete.
+            rx.receive(&pkts[0], 0);
+        }
+        assert!(rx.reassembly_count() <= MAX_REASSEMBLIES);
+    }
+}

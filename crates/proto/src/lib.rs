@@ -1,0 +1,21 @@
+//! `unp-proto` — the non-TCP protocol libraries: ARP, IPv4, ICMPv4, UDP.
+//!
+//! The paper's application links "to the TCP, IP, and ARP libraries"; UDP
+//! is the protocol of the earlier Topaz user-level implementation it cites.
+//! Each module here is a pure state machine: inputs are parsed packets and
+//! the current time, outputs are actions (packets to emit, data to deliver)
+//! that the hosting organization routes and charges for. Nothing in this
+//! crate performs I/O or knows about the simulator.
+
+pub mod arp;
+pub mod icmp;
+pub mod ip;
+pub mod udp;
+
+pub use arp::{ArpCache, ArpResult};
+pub use icmp::icmp_input;
+pub use ip::{IpEndpoint, IpRecv, NextHop};
+pub use udp::UdpLayer;
+
+/// Time in nanoseconds (shared convention with `unp-sim`).
+pub type Nanos = u64;

@@ -1,0 +1,667 @@
+//! `unp-registry` — the registry server.
+//!
+//! "The registry server runs as a trusted, privileged process managing the
+//! allocation and deallocation of communication end-points" (paper §3.4).
+//! There is one registry server per protocol. Its duties, all implemented
+//! here:
+//!
+//! * **Port namespace** — end-point names are unique per machine per
+//!   protocol; untrusted libraries cannot self-allocate them
+//!   ([`PortAllocator`], with post-connection quarantine because
+//!   "connection state needs to be maintained after a connection is
+//!   shut down. A transient user linkable library is clearly not
+//!   appropriate for this").
+//! * **Connection establishment** — "the registry server for TCP executes
+//!   the three-way handshake as part of the connection establishment",
+//!   using the *same* `unp-tcp` state machine the library uses ("our
+//!   organization can be logically thought of as the protocol library
+//!   providing a set of functions to both the application and the registry
+//!   server"). On completion the TCP state is transferred to the
+//!   application's library.
+//! * **Connection inheritance** — "when the application exits, the registry
+//!   server inherits the connections and ensures that the protocol
+//!   specified delay period is maintained before the connection is
+//!   reused"; on abnormal termination "the protocol server issues a reset
+//!   message to the remote peer."
+
+pub mod ports;
+pub mod udp;
+
+pub use ports::PortAllocator;
+pub use udp::UdpRegistry;
+
+use std::collections::HashMap;
+
+use unp_buffers::OwnerTag;
+#[cfg(test)]
+use unp_tcp::State;
+use unp_tcp::{ListenTcb, Tcb, TcpAction, TcpConfig, TcpTimer};
+use unp_wire::{Ipv4Addr, TcpRepr};
+
+/// Time in nanoseconds.
+pub type Nanos = u64;
+
+/// Identifier of an in-progress handshake or inherited connection within
+/// the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HsId(pub u64);
+
+/// Outputs of the registry state machine, routed by the hosting
+/// organization (which charges the paper's costs for each).
+#[derive(Debug)]
+pub enum RegistryAction {
+    /// Transmit a segment to `remote` on behalf of connection `hs`
+    /// (via the kernel default path — "the registry server does not access
+    /// the network device using shared memory, but instead uses standard
+    /// Mach IPCs").
+    Send {
+        /// Connection this belongs to.
+        hs: HsId,
+        /// Segment header.
+        repr: TcpRepr,
+        /// Segment payload (handshakes carry none, but inherited
+        /// connections may retransmit data).
+        payload: Vec<u8>,
+        /// Peer address.
+        remote: Ipv4Addr,
+    },
+    /// Arm a timer for connection `hs`.
+    SetTimer(HsId, TcpTimer, Nanos),
+    /// Disarm a timer.
+    CancelTimer(HsId, TcpTimer),
+    /// The three-way handshake completed: transfer this TCP state to the
+    /// owning application's library (the paper's 1.4 ms state transfer).
+    Complete {
+        /// Handshake id.
+        hs: HsId,
+        /// Owner application.
+        owner: OwnerTag,
+        /// The established connection block.
+        tcb: Box<Tcb>,
+    },
+    /// The handshake failed (reset by peer or retries exhausted).
+    Failed {
+        /// Handshake id.
+        hs: HsId,
+        /// Owner application.
+        owner: OwnerTag,
+    },
+}
+
+struct Pending {
+    tcb: Tcb,
+    owner: OwnerTag,
+    remote_ip: Ipv4Addr,
+    /// True once Complete has been emitted (awaiting removal).
+    done: bool,
+    /// True for connections inherited from exited applications.
+    inherited: bool,
+}
+
+/// Errors from registry calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The port is already bound or quarantined.
+    PortUnavailable,
+    /// No ephemeral ports free.
+    Exhausted,
+    /// Unknown listener or handshake.
+    NotFound,
+}
+
+/// The registry server for TCP on one host. See module docs.
+pub struct RegistryServer {
+    local_ip: Ipv4Addr,
+    ports: PortAllocator,
+    listeners: HashMap<u16, (OwnerTag, TcpConfig)>,
+    conns: HashMap<u64, Pending>,
+    /// Index (local_port, remote_ip, remote_port) → hs.
+    index: HashMap<(u16, Ipv4Addr, u16), u64>,
+    next_hs: u64,
+    next_iss: u32,
+}
+
+impl RegistryServer {
+    /// Creates the server for a host owning `local_ip`.
+    pub fn new(local_ip: Ipv4Addr) -> RegistryServer {
+        RegistryServer {
+            local_ip,
+            ports: PortAllocator::new(),
+            listeners: HashMap::new(),
+            conns: HashMap::new(),
+            index: HashMap::new(),
+            next_hs: 1,
+            // Seed the ISS from the host address so two hosts never share
+            // sequence spaces (the 4.3BSD clock-driven scheme's role).
+            next_iss: 0x1000_u32.wrapping_add(local_ip.to_u32().wrapping_mul(2654435761)),
+        }
+    }
+
+    /// Our address.
+    pub fn local_ip(&self) -> Ipv4Addr {
+        self.local_ip
+    }
+
+    fn iss(&mut self) -> u32 {
+        // Deterministic spaced ISS (the 4.3BSD clock-driven scheme's role
+        // is uniqueness, which spacing provides in simulation).
+        self.next_iss = self.next_iss.wrapping_add(64_000);
+        self.next_iss
+    }
+
+    /// Registers a listening endpoint for `owner` with per-connection
+    /// configuration `cfg`.
+    pub fn listen(
+        &mut self,
+        owner: OwnerTag,
+        port: u16,
+        cfg: TcpConfig,
+    ) -> Result<(), RegistryError> {
+        if self.listeners.contains_key(&port) || !self.ports.bind(port) {
+            return Err(RegistryError::PortUnavailable);
+        }
+        self.listeners.insert(port, (owner, cfg));
+        Ok(())
+    }
+
+    /// Stops listening on `port` (the owner's close of a listening socket).
+    pub fn unlisten(&mut self, owner: OwnerTag, port: u16) -> Result<(), RegistryError> {
+        match self.listeners.get(&port) {
+            Some((o, _)) if *o == owner => {
+                self.listeners.remove(&port);
+                self.ports.release(port);
+                Ok(())
+            }
+            _ => Err(RegistryError::NotFound),
+        }
+    }
+
+    /// Starts an active open to `remote` on behalf of `owner`. The SYN is
+    /// emitted immediately; the caller routes the returned actions.
+    pub fn connect(
+        &mut self,
+        owner: OwnerTag,
+        remote: (Ipv4Addr, u16),
+        cfg: TcpConfig,
+        now: Nanos,
+    ) -> Result<(HsId, Vec<RegistryAction>), RegistryError> {
+        let port = self
+            .ports
+            .alloc_ephemeral(remote, now)
+            .ok_or(RegistryError::Exhausted)?;
+        let iss = self.iss();
+        let (tcb, actions) = Tcb::connect((self.local_ip, port), remote, cfg, iss, now);
+        let hs = self.next_hs;
+        self.next_hs += 1;
+        self.index.insert((port, remote.0, remote.1), hs);
+        self.conns.insert(
+            hs,
+            Pending {
+                tcb,
+                owner,
+                remote_ip: remote.0,
+                done: false,
+                inherited: false,
+            },
+        );
+        Ok((HsId(hs), self.route(hs, actions)))
+    }
+
+    /// Processes a TCP segment that arrived on the kernel default path
+    /// (handshake traffic, inherited-connection traffic, or strays).
+    /// `src` is the sender's address; the segment is already
+    /// checksum-verified.
+    pub fn on_segment(
+        &mut self,
+        src: Ipv4Addr,
+        repr: &TcpRepr,
+        payload: &[u8],
+        now: Nanos,
+    ) -> Vec<RegistryAction> {
+        let key = (repr.dst_port, src, repr.src_port);
+        if let Some(&hs) = self.index.get(&key) {
+            let actions = {
+                let p = self.conns.get_mut(&hs).expect("indexed");
+                p.tcb.on_segment(repr, payload, now)
+            };
+            return self.route(hs, actions);
+        }
+        // New connection to a listener?
+        if let Some((owner, cfg)) = self.listeners.get(&repr.dst_port).cloned() {
+            let listener = ListenTcb::new((self.local_ip, repr.dst_port), cfg);
+            let iss = self.iss();
+            let on_syn = listener.on_syn((src, repr.src_port), repr, iss, now);
+            if let Some((tcb, actions)) = on_syn {
+                let hs = self.next_hs;
+                self.next_hs += 1;
+                self.index.insert(key, hs);
+                self.conns.insert(
+                    hs,
+                    Pending {
+                        tcb,
+                        owner,
+                        remote_ip: src,
+                        done: false,
+                        inherited: false,
+                    },
+                );
+                return self.route(hs, actions);
+            }
+            // Non-SYN segment to a listening port: no connection; RST it
+            // (unless it is itself a RST).
+            if repr.flags.rst {
+                return Vec::new();
+            }
+            let rst = Tcb::rst_for((self.local_ip, repr.dst_port), repr, payload.len());
+            return vec![RegistryAction::Send {
+                hs: HsId(0),
+                repr: rst,
+                payload: Vec::new(),
+                remote: src,
+            }];
+        }
+        // Stray segment to a dead endpoint: answer with RST unless it is
+        // itself a RST.
+        if repr.flags.rst {
+            return Vec::new();
+        }
+        let rst = Tcb::rst_for((self.local_ip, repr.dst_port), repr, payload.len());
+        vec![RegistryAction::Send {
+            hs: HsId(0),
+            repr: rst,
+            payload: Vec::new(),
+            remote: src,
+        }]
+    }
+
+    /// Handles a timer the host armed for connection `hs`.
+    pub fn on_timer(&mut self, hs: HsId, timer: TcpTimer, now: Nanos) -> Vec<RegistryAction> {
+        let Some(p) = self.conns.get_mut(&hs.0) else {
+            return Vec::new();
+        };
+        let actions = p.tcb.on_timer(timer, now);
+        self.route(hs.0, actions)
+    }
+
+    /// The owning application exited. Established connections it still
+    /// holds are returned to the registry: on a normal exit the registry
+    /// inherits them and completes the close protocol (FIN, TIME_WAIT);
+    /// on an abnormal exit it resets the peer. Returns actions to route.
+    pub fn app_exit(
+        &mut self,
+        owner: OwnerTag,
+        tcbs: Vec<Tcb>,
+        abnormal: bool,
+        now: Nanos,
+    ) -> Vec<RegistryAction> {
+        let mut out = Vec::new();
+        for mut tcb in tcbs {
+            let (local, remote) = (tcb.local(), tcb.remote());
+            let key = (local.1, remote.0, remote.1);
+            if abnormal {
+                let actions = tcb.abort();
+                let hs = self.adopt(tcb, owner, remote.0, key);
+                out.extend(self.route(hs, actions));
+            } else {
+                let actions = tcb.close(now).unwrap_or_default();
+                let hs = self.adopt(tcb, owner, remote.0, key);
+                out.extend(self.route(hs, actions));
+            }
+        }
+        out
+    }
+
+    fn adopt(
+        &mut self,
+        tcb: Tcb,
+        owner: OwnerTag,
+        remote_ip: Ipv4Addr,
+        key: (u16, Ipv4Addr, u16),
+    ) -> u64 {
+        let hs = self.next_hs;
+        self.next_hs += 1;
+        self.index.insert(key, hs);
+        self.conns.insert(
+            hs,
+            Pending {
+                tcb,
+                owner,
+                remote_ip,
+                done: true, // never hand an inherited connection to an app
+                inherited: true,
+            },
+        );
+        hs
+    }
+
+    /// Number of connections the registry currently tracks (handshakes in
+    /// progress plus inherited closers).
+    pub fn tracked(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True if `port` can be bound right now.
+    pub fn port_free(&self, port: u16, now: Nanos) -> bool {
+        self.ports.is_free(port, now)
+    }
+
+    /// Converts TCB actions into registry actions, extracting completion.
+    fn route(&mut self, hs: u64, actions: Vec<TcpAction>) -> Vec<RegistryAction> {
+        let mut out = Vec::new();
+        let mut completed = false;
+        let mut closed = false;
+        let mut reset = false;
+        {
+            let p = self.conns.get_mut(&hs).expect("routing live conn");
+            for a in actions {
+                match a {
+                    TcpAction::Send(repr, payload) => out.push(RegistryAction::Send {
+                        hs: HsId(hs),
+                        repr,
+                        payload,
+                        remote: p.remote_ip,
+                    }),
+                    TcpAction::SetTimer(t, d) => out.push(RegistryAction::SetTimer(HsId(hs), t, d)),
+                    TcpAction::CancelTimer(t) => out.push(RegistryAction::CancelTimer(HsId(hs), t)),
+                    TcpAction::Connected => completed = true,
+                    TcpAction::ConnClosed => closed = true,
+                    TcpAction::Reset => reset = true,
+                    // Data/space notifications are meaningless during a
+                    // handshake and ignored on inherited closers.
+                    TcpAction::DataAvailable | TcpAction::PeerClosed | TcpAction::SendSpace => {}
+                }
+            }
+        }
+        if completed {
+            let p = self.conns.get_mut(&hs).expect("live");
+            if !p.done {
+                p.done = true;
+                let owner = p.owner;
+                let local = p.tcb.local();
+                let remote = p.tcb.remote();
+                // Replace the TCB with a tombstone-free removal: take it out
+                // for transfer and drop the index entry (the channel now
+                // bypasses the registry).
+                let p = self.conns.remove(&hs).expect("live");
+                self.index.remove(&(local.1, remote.0, remote.1));
+                out.push(RegistryAction::Complete {
+                    hs: HsId(hs),
+                    owner,
+                    tcb: Box::new(p.tcb),
+                });
+            }
+        } else if closed || reset {
+            if let Some(p) = self.conns.remove(&hs) {
+                let local = p.tcb.local();
+                let remote = p.tcb.remote();
+                self.index.remove(&(local.1, remote.0, remote.1));
+                // Quarantine the pair for 2MSL from now if this was an
+                // inherited close; release the port for handshake failures.
+                if p.inherited {
+                    self.ports.quarantine(local.1, remote, Nanos::MAX);
+                    // The actual 2MSL wait already happened inside the
+                    // TCB's TIME_WAIT state for orderly closes; for aborts
+                    // the pair is quarantined permanently-in-simulation
+                    // (hosts are short-lived); ports release below.
+                    self.ports.release(local.1);
+                } else {
+                    self.ports.release(local.1);
+                    if !p.done {
+                        out.push(RegistryAction::Failed {
+                            hs: HsId(hs),
+                            owner: p.owner,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const IP_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    /// Ferries segments between two registries until both sides' handshake
+    /// completes or traffic dries up. Returns completed TCBs.
+    fn run_handshake(
+        ra: &mut RegistryServer,
+        rb: &mut RegistryServer,
+        mut pending: Vec<(bool, TcpRepr, Vec<u8>)>, // (to_b, repr, payload)
+    ) -> (Vec<Tcb>, Vec<Tcb>) {
+        let mut done_a = Vec::new();
+        let mut done_b = Vec::new();
+        let mut now = 0;
+        let mut steps = 0;
+        while let Some((to_b, repr, payload)) = pending.pop() {
+            steps += 1;
+            assert!(steps < 100, "handshake livelock");
+            now += 100_000;
+            let actions = if to_b {
+                rb.on_segment(IP_A, &repr, &payload, now)
+            } else {
+                ra.on_segment(IP_B, &repr, &payload, now)
+            };
+            for a in actions {
+                match a {
+                    RegistryAction::Send {
+                        repr,
+                        payload,
+                        remote,
+                        ..
+                    } => {
+                        pending.push((remote == IP_B, repr, payload));
+                    }
+                    RegistryAction::Complete { tcb, .. } => {
+                        if to_b {
+                            done_b.push(*tcb);
+                        } else {
+                            done_a.push(*tcb);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        (done_a, done_b)
+    }
+
+    #[test]
+    fn registry_executes_three_way_handshake() {
+        let mut ra = RegistryServer::new(IP_A);
+        let mut rb = RegistryServer::new(IP_B);
+        rb.listen(OwnerTag(20), 80, TcpConfig::default()).unwrap();
+
+        let (_hs, actions) = ra
+            .connect(OwnerTag(10), (IP_B, 80), TcpConfig::default(), 0)
+            .unwrap();
+        let mut pending = Vec::new();
+        for a in actions {
+            if let RegistryAction::Send {
+                repr,
+                payload,
+                remote,
+                ..
+            } = a
+            {
+                pending.push((remote == IP_B, repr, payload));
+            }
+        }
+        let (done_a, done_b) = run_handshake(&mut ra, &mut rb, pending);
+        assert_eq!(done_a.len(), 1, "active side completed");
+        assert_eq!(done_b.len(), 1, "passive side completed");
+        assert_eq!(done_a[0].state(), State::Established);
+        assert_eq!(done_b[0].state(), State::Established);
+        // Both registries dropped the connection from their tables: the
+        // data path now bypasses the server.
+        assert_eq!(ra.tracked(), 0);
+        assert_eq!(rb.tracked(), 0);
+        // The endpoints agree.
+        assert_eq!(done_a[0].remote(), done_b[0].local());
+        assert_eq!(done_b[0].remote(), done_a[0].local());
+    }
+
+    #[test]
+    fn listen_port_conflicts_rejected() {
+        let mut r = RegistryServer::new(IP_A);
+        assert!(r.listen(OwnerTag(1), 80, TcpConfig::default()).is_ok());
+        assert_eq!(
+            r.listen(OwnerTag(2), 80, TcpConfig::default()).err(),
+            Some(RegistryError::PortUnavailable)
+        );
+        assert!(r.unlisten(OwnerTag(2), 80).is_err(), "only owner unbinds");
+        assert!(r.unlisten(OwnerTag(1), 80).is_ok());
+        assert!(r.listen(OwnerTag(2), 80, TcpConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn stray_segment_answered_with_rst() {
+        let mut r = RegistryServer::new(IP_A);
+        let stray = TcpRepr {
+            src_port: 1234,
+            dst_port: 9999,
+            seq: unp_wire::SeqNum(5),
+            ack_num: unp_wire::SeqNum(0),
+            flags: unp_wire::TcpFlags::SYN,
+            window: 100,
+            mss: None,
+        };
+        let actions = r.on_segment(IP_B, &stray, &[], 0);
+        assert_eq!(actions.len(), 1);
+        let RegistryAction::Send { repr, .. } = &actions[0] else {
+            panic!("expected RST send");
+        };
+        assert!(repr.flags.rst);
+        // RSTs themselves are not answered (no storm).
+        let actions = r.on_segment(IP_B, repr, &[], 0);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn abnormal_exit_resets_peer() {
+        // Build an established pair through the registries.
+        let mut ra = RegistryServer::new(IP_A);
+        let mut rb = RegistryServer::new(IP_B);
+        rb.listen(OwnerTag(20), 80, TcpConfig::default()).unwrap();
+        let (_hs, actions) = ra
+            .connect(OwnerTag(10), (IP_B, 80), TcpConfig::default(), 0)
+            .unwrap();
+        let mut pending = Vec::new();
+        for a in actions {
+            if let RegistryAction::Send {
+                repr,
+                payload,
+                remote,
+                ..
+            } = a
+            {
+                pending.push((remote == IP_B, repr, payload));
+            }
+        }
+        let (done_a, _done_b) = run_handshake(&mut ra, &mut rb, pending);
+        let tcb_a = done_a.into_iter().next().unwrap();
+
+        // The app on A crashes; registry A resets the peer.
+        let actions = ra.app_exit(OwnerTag(10), vec![tcb_a], true, 1_000_000);
+        let sent_rst = actions
+            .iter()
+            .any(|a| matches!(a, RegistryAction::Send { repr, .. } if repr.flags.rst));
+        assert!(sent_rst, "abnormal exit must RST the peer: {actions:?}");
+    }
+
+    #[test]
+    fn connect_allocates_distinct_ephemeral_ports() {
+        let mut r = RegistryServer::new(IP_A);
+        let (_h1, a1) = r
+            .connect(OwnerTag(1), (IP_B, 80), TcpConfig::default(), 0)
+            .unwrap();
+        let (_h2, a2) = r
+            .connect(OwnerTag(1), (IP_B, 80), TcpConfig::default(), 0)
+            .unwrap();
+        let port_of = |acts: &[RegistryAction]| {
+            acts.iter()
+                .find_map(|a| match a {
+                    RegistryAction::Send { repr, .. } => Some(repr.src_port),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_ne!(port_of(&a1), port_of(&a2));
+        assert_eq!(r.tracked(), 2);
+    }
+
+    #[test]
+    fn registry_retransmits_syn_on_timer() {
+        let mut r = RegistryServer::new(IP_A);
+        let (hs, actions) = r
+            .connect(OwnerTag(1), (IP_B, 80), TcpConfig::default(), 0)
+            .unwrap();
+        let syn_count = actions
+            .iter()
+            .filter(|a| matches!(a, RegistryAction::Send { repr, .. } if repr.flags.syn))
+            .count();
+        assert_eq!(syn_count, 1);
+        // No response: the retransmission timer fires and the SYN reissues.
+        let actions = r.on_timer(hs, unp_tcp::TcpTimer::Retransmit, 1_000_000_000);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, RegistryAction::Send { repr, .. } if repr.flags.syn)));
+        assert_eq!(r.tracked(), 1, "handshake still pending");
+    }
+
+    #[test]
+    fn handshake_gives_up_and_reports_failure() {
+        let mut r = RegistryServer::new(IP_A);
+        let cfg = TcpConfig {
+            max_retransmits: 2,
+            ..TcpConfig::default()
+        };
+        let (hs, _) = r.connect(OwnerTag(7), (IP_B, 80), cfg, 0).unwrap();
+        let mut failed = false;
+        let mut now = 0u64;
+        for _ in 0..6 {
+            now += 70_000_000_000;
+            let actions = r.on_timer(hs, unp_tcp::TcpTimer::Retransmit, now);
+            if actions
+                .iter()
+                .any(|a| matches!(a, RegistryAction::Failed { owner, .. } if *owner == OwnerTag(7)))
+            {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "retry budget exhausted must report Failed");
+        assert_eq!(r.tracked(), 0, "failed handshake reaped");
+        // The ephemeral port was released for reuse.
+        let (_hs2, actions2) = r
+            .connect(OwnerTag(7), (IP_B, 80), TcpConfig::default(), now)
+            .unwrap();
+        assert!(!actions2.is_empty());
+    }
+
+    #[test]
+    fn rst_during_handshake_fails_cleanly() {
+        let mut r = RegistryServer::new(IP_A);
+        let (hs, actions) = r
+            .connect(OwnerTag(3), (IP_B, 80), TcpConfig::default(), 0)
+            .unwrap();
+        let RegistryAction::Send { repr: syn, .. } = &actions[0] else {
+            panic!("expected SYN");
+        };
+        let _ = hs;
+        // The peer answers with RST (port closed there).
+        let rst = Tcb::rst_for((IP_B, 80), syn, 0);
+        let actions = r.on_segment(IP_B, &rst, &[], 1_000_000);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, RegistryAction::Failed { .. })),
+            "RST must fail the handshake: {actions:?}"
+        );
+        assert_eq!(r.tracked(), 0);
+    }
+}

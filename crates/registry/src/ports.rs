@@ -1,0 +1,172 @@
+//! The TCP port namespace: machine-wide unique names with post-connection
+//! quarantine.
+//!
+//! "Connection end-points act as names of the communicating entities and
+//! are therefore unique across a machine for a particular protocol. Thus,
+//! having untrusted user libraries allocate these names is a security and
+//! administrative concern" (paper §3.4).
+
+use std::collections::{HashMap, HashSet};
+
+use unp_wire::Ipv4Addr;
+
+use crate::Nanos;
+
+/// First ephemeral port (the 4.3BSD range starts at 1024).
+pub const EPHEMERAL_BASE: u16 = 1024;
+/// Last ephemeral port in the classic BSD range.
+pub const EPHEMERAL_LIMIT: u16 = 5000;
+
+/// Machine-wide TCP port allocation state.
+#[derive(Debug)]
+pub struct PortAllocator {
+    bound: HashSet<u16>,
+    next_ephemeral: u16,
+    /// (local_port, (remote_ip, remote_port)) pairs under quarantine, with
+    /// their release times.
+    quarantined: HashMap<(u16, Ipv4Addr, u16), Nanos>,
+}
+
+impl Default for PortAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PortAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> PortAllocator {
+        PortAllocator {
+            bound: HashSet::new(),
+            next_ephemeral: EPHEMERAL_BASE,
+            quarantined: HashMap::new(),
+        }
+    }
+
+    /// Binds a specific port. Returns false if taken.
+    pub fn bind(&mut self, port: u16) -> bool {
+        self.bound.insert(port)
+    }
+
+    /// Releases a bound port.
+    pub fn release(&mut self, port: u16) -> bool {
+        self.bound.remove(&port)
+    }
+
+    /// True if `port` may be bound at `now` (not bound, and not the local
+    /// half of any quarantined pair).
+    pub fn is_free(&self, port: u16, now: Nanos) -> bool {
+        if self.bound.contains(&port) {
+            return false;
+        }
+        !self
+            .quarantined
+            .iter()
+            .any(|(&(p, _, _), &until)| p == port && until > now)
+    }
+
+    /// Allocates an ephemeral port for a connection to `remote`, skipping
+    /// bound ports and pairs quarantined against this exact remote.
+    pub fn alloc_ephemeral(&mut self, remote: (Ipv4Addr, u16), now: Nanos) -> Option<u16> {
+        let span = EPHEMERAL_LIMIT - EPHEMERAL_BASE;
+        for _ in 0..=span {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if p >= EPHEMERAL_LIMIT {
+                EPHEMERAL_BASE
+            } else {
+                p + 1
+            };
+            let pair_quarantined = self
+                .quarantined
+                .get(&(p, remote.0, remote.1))
+                .is_some_and(|&until| until > now);
+            if !self.bound.contains(&p) && !pair_quarantined {
+                self.bound.insert(p);
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Quarantines a (local port, remote) pair until `until` — the 2·MSL
+    /// rule enforced by the registry on behalf of exited applications.
+    pub fn quarantine(&mut self, port: u16, remote: (Ipv4Addr, u16), until: Nanos) {
+        self.quarantined.insert((port, remote.0, remote.1), until);
+    }
+
+    /// Drops expired quarantine entries (housekeeping).
+    pub fn expire(&mut self, now: Nanos) {
+        self.quarantined.retain(|_, &mut until| until > now);
+    }
+
+    /// Number of live quarantine entries.
+    pub fn quarantined_pairs(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
+
+    #[test]
+    fn bind_release_cycle() {
+        let mut a = PortAllocator::new();
+        assert!(a.bind(80));
+        assert!(!a.bind(80));
+        assert!(!a.is_free(80, 0));
+        assert!(a.release(80));
+        assert!(a.is_free(80, 0));
+    }
+
+    #[test]
+    fn ephemeral_ports_unique_and_in_range() {
+        let mut a = PortAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let p = a.alloc_ephemeral(R, 0).unwrap();
+            assert!((EPHEMERAL_BASE..=EPHEMERAL_LIMIT).contains(&p));
+            assert!(seen.insert(p), "duplicate ephemeral {p}");
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = PortAllocator::new();
+        let total = (EPHEMERAL_LIMIT - EPHEMERAL_BASE + 1) as usize;
+        for _ in 0..total {
+            assert!(a.alloc_ephemeral(R, 0).is_some());
+        }
+        assert!(a.alloc_ephemeral(R, 0).is_none());
+    }
+
+    #[test]
+    fn quarantine_blocks_same_pair_only() {
+        let mut a = PortAllocator::new();
+        let p = a.alloc_ephemeral(R, 0).unwrap();
+        a.release(p);
+        a.quarantine(p, R, 1000);
+        // Reset the rotor so the same port comes up first.
+        a.next_ephemeral = p;
+        // Same remote: the quarantined pair is skipped.
+        let p2 = a.alloc_ephemeral(R, 500).unwrap();
+        assert_ne!(p2, p);
+        a.release(p2);
+        // Different remote: the pair rule does not apply.
+        a.next_ephemeral = p;
+        let other = (Ipv4Addr::new(10, 0, 0, 3), 80);
+        assert_eq!(a.alloc_ephemeral(other, 500), Some(p));
+    }
+
+    #[test]
+    fn quarantine_expires() {
+        let mut a = PortAllocator::new();
+        a.quarantine(2000, R, 1000);
+        assert!(!a.is_free(2000, 500));
+        assert!(a.is_free(2000, 1001));
+        a.expire(1001);
+        assert_eq!(a.quarantined_pairs(), 0);
+    }
+}

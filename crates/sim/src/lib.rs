@@ -1,0 +1,275 @@
+//! `unp-sim` — a deterministic discrete-event simulation engine.
+//!
+//! The SIGCOMM '93 paper's results were measured on DECstation 5000/200
+//! workstations (25 MHz R3000) running Ultrix 4.2A or Mach 3.0, attached to
+//! 10 Mb/s Ethernet and the 100 Mb/s DEC SRC AN1. That testbed is
+//! unobtainable, so the reproduction executes the *real* protocol code on a
+//! virtual clock: every structural operation the paper charges for — traps,
+//! Mach IPCs, context switches, semaphore signals, data copies, checksums,
+//! filter interpretation, DMA setup — is billed to a per-host CPU model
+//! using the calibrated [`costs::CostModel`].
+//!
+//! The engine is single-threaded and fully deterministic: events at equal
+//! times fire in schedule order, and all randomness flows through seeded
+//! RNGs owned by the world.
+
+pub mod costs;
+pub mod cpu;
+pub mod trace;
+
+pub use costs::{CostModel, LinkParams};
+pub use cpu::Cpu;
+pub use trace::Trace;
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulated time in nanoseconds since world start.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECONDS: Nanos = 1_000_000_000;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+/// A discrete-event engine generic over the world type `W`.
+///
+/// Closures scheduled on the engine receive `(&mut W, &mut Engine<W>)` so
+/// they can mutate the world and schedule follow-up events.
+pub struct Engine<W> {
+    now: Nanos,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(Nanos, u64)>>,
+    pending: HashMap<u64, EventFn<W>>,
+    executed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Engine<W> {
+        Engine {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            pending: HashMap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently scheduled.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Schedules `f` to run at absolute time `time` (clamped to `now`).
+    pub fn at<F>(&mut self, time: Nanos, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let time = time.max(self.now);
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((time, id)));
+        self.pending.insert(id, Box::new(f));
+        EventId(id)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn after<F>(&mut self, delay: Nanos, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.at(self.now + delay, f)
+    }
+
+    /// Cancels a scheduled event. Returns true if it had not yet run.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0).is_some()
+    }
+
+    /// Runs the next event, if any. Returns false when the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(Reverse((time, id))) = self.heap.pop() {
+            if let Some(f) = self.pending.remove(&id) {
+                self.now = time;
+                self.executed += 1;
+                f(world, self);
+                return true;
+            }
+            // Cancelled entry: skip.
+        }
+        false
+    }
+
+    /// Runs events until the queue empties or `limit` events have executed.
+    /// Returns true if the queue drained.
+    pub fn run(&mut self, world: &mut W, limit: u64) -> bool {
+        for _ in 0..limit {
+            if !self.step(world) {
+                return true;
+            }
+        }
+        self.heap.is_empty()
+    }
+
+    /// Runs events with times `<= deadline`. Events scheduled later remain
+    /// queued. Advances `now` to `deadline` if the queue drains earlier.
+    pub fn run_until(&mut self, world: &mut W, deadline: Nanos) {
+        loop {
+            // Peek at the next *live* event time.
+            let next = loop {
+                match self.heap.peek() {
+                    Some(Reverse((t, id))) => {
+                        if self.pending.contains_key(id) {
+                            break Some(*t);
+                        }
+                        self.heap.pop();
+                    }
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+}
+
+/// Formats a nanosecond duration in engineering units for reports.
+pub fn fmt_nanos(n: Nanos) -> String {
+    if n >= SECONDS {
+        format!("{:.3} s", n as f64 / SECONDS as f64)
+    } else if n >= MILLIS {
+        format!("{:.3} ms", n as f64 / MILLIS as f64)
+    } else if n >= MICROS {
+        format!("{:.3} us", n as f64 / MICROS as f64)
+    } else {
+        format!("{n} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(Nanos, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.at(300, |w, e| w.log.push((e.now(), "c")));
+        eng.at(100, |w, e| w.log.push((e.now(), "a")));
+        eng.at(200, |w, e| w.log.push((e.now(), "b")));
+        assert!(eng.run(&mut w, 100));
+        assert_eq!(w.log, vec![(100, "a"), (200, "b"), (300, "c")]);
+    }
+
+    #[test]
+    fn equal_times_run_in_schedule_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.at(50, |w, _| w.log.push((50, "first")));
+        eng.at(50, |w, _| w.log.push((50, "second")));
+        eng.run(&mut w, 10);
+        assert_eq!(w.log, vec![(50, "first"), (50, "second")]);
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.at(10, |_, e| {
+            e.after(5, |w, e| w.log.push((e.now(), "chained")));
+        });
+        eng.run(&mut w, 10);
+        assert_eq!(w.log, vec![(15, "chained")]);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let id = eng.at(10, |w, _| w.log.push((10, "never")));
+        assert!(eng.cancel(id));
+        assert!(!eng.cancel(id));
+        eng.run(&mut w, 10);
+        assert!(w.log.is_empty());
+    }
+
+    #[test]
+    fn past_times_clamp_to_now() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.at(100, |w, e| {
+            e.at(5, |w, e| w.log.push((e.now(), "clamped")));
+            w.log.push((e.now(), "outer"));
+        });
+        eng.run(&mut w, 10);
+        assert_eq!(w.log, vec![(100, "outer"), (100, "clamped")]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.at(10, |w, _| w.log.push((10, "early")));
+        eng.at(1000, |w, _| w.log.push((1000, "late")));
+        eng.run_until(&mut w, 500);
+        assert_eq!(w.log, vec![(10, "early")]);
+        assert_eq!(eng.now(), 500);
+        assert_eq!(eng.pending(), 1);
+        eng.run_until(&mut w, 2000);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let id = eng.at(10, |w, _| w.log.push((10, "no")));
+        eng.at(20, |w, _| w.log.push((20, "yes")));
+        eng.cancel(id);
+        eng.run_until(&mut w, 100);
+        assert_eq!(w.log, vec![(20, "yes")]);
+    }
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(500), "500 ns");
+        assert_eq!(fmt_nanos(1_500), "1.500 us");
+        assert_eq!(fmt_nanos(2_500_000), "2.500 ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.000 s");
+    }
+}

@@ -1,0 +1,109 @@
+//! Lightweight counters and measurement collection for experiments.
+
+use std::collections::BTreeMap;
+
+use crate::Nanos;
+
+/// A set of named counters and duration samples.
+///
+/// `BTreeMap` keeps report output deterministic and sorted.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    counters: BTreeMap<&'static str, u64>,
+    samples: BTreeMap<&'static str, Vec<Nanos>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments the named counter by one.
+    pub fn bump(&mut self, name: &'static str) {
+        self.count(name, 1);
+    }
+
+    /// Records a duration sample under `name`.
+    pub fn sample(&mut self, name: &'static str, v: Nanos) {
+        self.samples.entry(name).or_default().push(v);
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All samples recorded under `name`.
+    pub fn samples(&self, name: &str) -> &[Nanos] {
+        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mean of the samples under `name`, or `None` if there are none.
+    pub fn mean(&self, name: &str) -> Option<f64> {
+        let s = self.samples(name);
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64)
+        }
+    }
+
+    /// The `p`-quantile (0.0..=1.0) of samples under `name` by
+    /// nearest-rank, or `None` if there are none.
+    pub fn quantile(&self, name: &str, p: f64) -> Option<Nanos> {
+        let mut s = self.samples(name).to_vec();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_unstable();
+        let idx = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+        Some(s[idx])
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Trace::new();
+        t.bump("pkts");
+        t.count("pkts", 4);
+        assert_eq!(t.get("pkts"), 5);
+        assert_eq!(t.get("missing"), 0);
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let mut t = Trace::new();
+        for v in [10, 20, 30, 40] {
+            t.sample("rtt", v);
+        }
+        assert_eq!(t.mean("rtt"), Some(25.0));
+        assert_eq!(t.quantile("rtt", 0.5), Some(20));
+        assert_eq!(t.quantile("rtt", 1.0), Some(40));
+        assert_eq!(t.mean("none"), None);
+        assert_eq!(t.quantile("none", 0.5), None);
+    }
+
+    #[test]
+    fn counters_iterate_sorted() {
+        let mut t = Trace::new();
+        t.bump("zz");
+        t.bump("aa");
+        let names: Vec<_> = t.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+}

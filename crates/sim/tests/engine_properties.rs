@@ -1,0 +1,100 @@
+//! Property tests for the discrete-event engine: execution order matches a
+//! reference model under arbitrary schedules and cancellations, and the
+//! CPU queueing model conserves busy time.
+
+use proptest::prelude::*;
+
+use unp_sim::{Cpu, Engine, Nanos};
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    /// Schedule a tagged event at an absolute time.
+    At(Nanos),
+    /// Cancel the nth previously scheduled (and possibly already-run) event.
+    Cancel(usize),
+}
+
+fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Cmd::At),
+            any::<usize>().prop_map(Cmd::Cancel),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// Events fire exactly once, in (time, schedule-order) order, and
+    /// cancelled events never fire.
+    #[test]
+    fn engine_matches_reference(cmds in arb_cmds()) {
+        #[derive(Default)]
+        struct W {
+            fired: Vec<usize>,
+        }
+        let mut eng: Engine<W> = Engine::new();
+        let mut w = W::default();
+        let mut handles = Vec::new();
+        let mut expected: Vec<(Nanos, usize)> = Vec::new(); // (time, tag)
+        let mut cancelled: Vec<usize> = Vec::new();
+
+        for cmd in cmds {
+            match cmd {
+                Cmd::At(t) => {
+                    let tag = handles.len();
+                    let id = eng.at(t, move |w: &mut W, _| w.fired.push(tag));
+                    handles.push(id);
+                    expected.push((t, tag));
+                }
+                Cmd::Cancel(n) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let idx = n % handles.len();
+                    if eng.cancel(handles[idx]) && !cancelled.contains(&idx) {
+                        cancelled.push(idx);
+                    }
+                }
+            }
+        }
+        eng.run(&mut w, 10_000);
+        let mut want: Vec<(Nanos, usize)> = expected
+            .into_iter()
+            .filter(|(_, tag)| !cancelled.contains(tag))
+            .collect();
+        want.sort_by_key(|&(t, tag)| (t, tag)); // schedule order == tag order
+        let want_tags: Vec<usize> = want.into_iter().map(|(_, tag)| tag).collect();
+        prop_assert_eq!(w.fired, want_tags);
+    }
+
+    /// The CPU model: completions are monotone, never earlier than
+    /// request + cost, and total busy time is the sum of charges.
+    #[test]
+    fn cpu_queueing_laws(charges in proptest::collection::vec((0u64..1_000, 1u64..500), 1..40)) {
+        let mut cpu = Cpu::new();
+        let mut prev_done = 0;
+        let mut total = 0;
+        for &(at, cost) in &charges {
+            let done = cpu.charge(at, cost);
+            prop_assert!(done >= at + cost, "completion before request+cost");
+            prop_assert!(done >= prev_done, "completions must be monotone");
+            prev_done = done;
+            total += cost;
+        }
+        prop_assert_eq!(cpu.busy_total(), total);
+    }
+
+    /// Interrupt-priority charges complete at now+cost and push queued
+    /// work back by exactly their cost.
+    #[test]
+    fn interrupt_priority_laws(base in 1u64..1000, intr in 1u64..500, at in 0u64..800) {
+        let mut cpu = Cpu::new();
+        let normal_done = cpu.charge(0, base);
+        let intr_done = cpu.charge_priority(at, intr);
+        prop_assert_eq!(intr_done, at + intr, "interrupt runs immediately");
+        // Subsequent normal work sees the displacement.
+        let next = cpu.charge(0, 1);
+        prop_assert_eq!(next, normal_done.max(at) + intr + 1);
+    }
+}

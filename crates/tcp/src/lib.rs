@@ -1,0 +1,68 @@
+//! `unp-tcp` — the TCP protocol library.
+//!
+//! "The protocol library is the heart of the overall protocol
+//! implementation" (paper §3.2). The paper chose TCP deliberately: "it is a
+//! real protocol whose level of detail and functionality match that of
+//! other communication protocols; choosing a simpler protocol like UDP
+//! would be less convincing."
+//!
+//! This crate is a from-scratch 4.3BSD-class TCP:
+//!
+//! * the full RFC 793 state machine (including simultaneous open, both
+//!   close orders, `TIME_WAIT`/2MSL);
+//! * sliding-window flow control with receiver window advertisement and
+//!   silly-window avoidance, MSS negotiation, Nagle's algorithm,
+//!   delayed acknowledgments, zero-window probing (persist timer);
+//! * Jacobson SRTT/RTTVAR retransmission timing with Karn's rule and
+//!   exponential backoff; fast retransmit on three duplicate ACKs;
+//! * out-of-order segment reassembly;
+//! * optional slow-start/congestion-avoidance (Tahoe or Reno shape) — off
+//!   by default, matching the stock protocol stack the paper benchmarks on
+//!   unloaded LANs.
+//!
+//! Like every protocol component in this reproduction, [`Tcb`] is a pure
+//! state machine: inputs are parsed segments, user calls, timer firings and
+//! the current time; outputs are [`TcpAction`]s that the hosting
+//! organization routes and charges costs for. The same code runs inside
+//! the simulated Ultrix kernel, the Mach single server, and the user-level
+//! library — mirroring the paper's "apples to apples" methodology.
+
+pub mod config;
+pub mod loopback;
+pub mod reasm;
+pub mod rtt;
+pub mod tcb;
+
+pub use config::{CongestionControl, TcpConfig};
+pub use reasm::OooBuffer;
+pub use rtt::RttEstimator;
+pub use tcb::{ListenTcb, State, Tcb, TcpAction, TcpTimer};
+
+/// Time in nanoseconds (shared convention with `unp-sim`).
+pub type Nanos = u64;
+
+/// Errors surfaced to the socket layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpError {
+    /// Operation invalid in the current state.
+    InvalidState,
+    /// The connection was reset by the peer.
+    ConnectionReset,
+    /// The send buffer cannot accept more data right now.
+    WouldBlock,
+    /// The connection is closing; no more data may be sent.
+    Closing,
+}
+
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::InvalidState => write!(f, "invalid state"),
+            TcpError::ConnectionReset => write!(f, "connection reset"),
+            TcpError::WouldBlock => write!(f, "would block"),
+            TcpError::Closing => write!(f, "closing"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}

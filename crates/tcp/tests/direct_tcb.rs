@@ -1,0 +1,270 @@
+//! Direct TCB tests: hand-driven segment exchanges for behaviours the
+//! loopback harness doesn't isolate — simultaneous open, zero-window
+//! persist probing, window-update gating, and congestion-window dynamics.
+
+use unp_tcp::{CongestionControl, State, Tcb, TcpAction, TcpConfig, TcpTimer};
+use unp_wire::{Ipv4Addr, SeqNum, TcpRepr};
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const MS: u64 = 1_000_000;
+
+fn sends(actions: &[TcpAction]) -> Vec<(TcpRepr, Vec<u8>)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            TcpAction::Send(r, p) => Some((*r, p.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Feeds every Send from `actions` into `dst`, returning its responses.
+fn deliver(dst: &mut Tcb, actions: &[TcpAction], now: u64) -> Vec<TcpAction> {
+    let mut out = Vec::new();
+    for (repr, payload) in sends(actions) {
+        out.extend(dst.on_segment(&repr, &payload, now));
+    }
+    out
+}
+
+#[test]
+fn simultaneous_open_establishes_both_sides() {
+    // Both endpoints actively connect to each other at once (RFC 793 §3.4
+    // figure 8). The SYNs cross; both go SYN_SENT → SYN_RECEIVED →
+    // ESTABLISHED.
+    let (mut a, syn_a) = Tcb::connect((A, 100), (B, 200), TcpConfig::default(), 1000, 0);
+    let (mut b, syn_b) = Tcb::connect((B, 200), (A, 100), TcpConfig::default(), 9000, 0);
+    assert_eq!(a.state(), State::SynSent);
+    assert_eq!(b.state(), State::SynSent);
+
+    // Cross-deliver the SYNs: each side answers SYN|ACK.
+    let synack_from_a = deliver(&mut a, &syn_b, MS);
+    let synack_from_b = deliver(&mut b, &syn_a, MS);
+    assert_eq!(a.state(), State::SynReceived);
+    assert_eq!(b.state(), State::SynReceived);
+    assert!(sends(&synack_from_a)[0].0.flags.syn && sends(&synack_from_a)[0].0.flags.ack);
+
+    // Cross-deliver the SYN|ACKs. Their sequence numbers predate the
+    // already-consumed SYNs, so per RFC 793 each side answers with a
+    // plain re-ACK (still SYN_RECEIVED)...
+    let reack_a = deliver(&mut a, &synack_from_b, 2 * MS);
+    let reack_b = deliver(&mut b, &synack_from_a, 2 * MS);
+    assert_eq!(a.state(), State::SynReceived);
+    assert!(
+        !sends(&reack_a).is_empty(),
+        "must re-ACK the crossed SYN|ACK"
+    );
+
+    // ...and those ACKs complete the handshake on both sides.
+    let done_a = deliver(&mut a, &reack_b, 3 * MS);
+    let done_b = deliver(&mut b, &reack_a, 3 * MS);
+    assert_eq!(a.state(), State::Established);
+    assert_eq!(b.state(), State::Established);
+    assert!(done_a.iter().any(|x| matches!(x, TcpAction::Connected)));
+    assert!(done_b.iter().any(|x| matches!(x, TcpAction::Connected)));
+}
+
+/// Builds an established pair by running the three-way handshake.
+fn established() -> (Tcb, Tcb) {
+    established_with(TcpConfig::default())
+}
+
+/// Same, with a custom configuration on both ends.
+fn established_with(cfg: TcpConfig) -> (Tcb, Tcb) {
+    let (mut a, syn) = Tcb::connect((A, 100), (B, 200), cfg.clone(), 1000, 0);
+    let listener = unp_tcp::ListenTcb::new((B, 200), cfg);
+    let (syn_repr, _) = sends(&syn)[0].clone();
+    let (mut b, synack) = listener.on_syn((A, 100), &syn_repr, 9000, 0).unwrap();
+    let ack = deliver(&mut a, &synack, MS);
+    deliver(&mut b, &ack, MS);
+    assert_eq!(a.state(), State::Established);
+    assert_eq!(b.state(), State::Established);
+    (a, b)
+}
+
+#[test]
+fn zero_window_triggers_persist_probe_and_recovers() {
+    // Immediate ACKs so the probe's acknowledgment isn't delayed.
+    let (mut a, mut b) = established_with(TcpConfig::low_latency());
+    // B slams its window shut (simulate by delivering a window update of 0).
+    let (hdr, _) = sends(&b.on_timer(TcpTimer::DelayedAck, 2 * MS))
+        .first()
+        .cloned()
+        .unwrap_or((
+            TcpRepr {
+                src_port: 200,
+                dst_port: 100,
+                seq: SeqNum(9001),
+                ack_num: SeqNum(1001),
+                flags: unp_wire::TcpFlags::ack(),
+                window: 0,
+                mss: None,
+            },
+            Vec::new(),
+        ));
+    let zero_win = TcpRepr { window: 0, ..hdr };
+    a.on_segment(&zero_win, &[], 3 * MS);
+
+    // A queues data; nothing can be sent, so the persist timer arms.
+    let (n, actions) = a.send(b"stuck", 3 * MS).unwrap();
+    assert_eq!(n, 5);
+    assert!(
+        actions
+            .iter()
+            .any(|x| matches!(x, TcpAction::SetTimer(TcpTimer::Persist, _))),
+        "persist must arm on a closed window: {actions:?}"
+    );
+    assert!(sends(&actions).is_empty(), "no data into a zero window");
+
+    // Persist fires: exactly one probe byte goes out.
+    let probe_actions = a.on_timer(TcpTimer::Persist, 10 * MS);
+    let probes = sends(&probe_actions);
+    assert_eq!(probes.len(), 1);
+    assert_eq!(probes[0].1, b"stuck"[..1].to_vec());
+    assert_eq!(a.stats().probes, 1);
+
+    // B accepts the probe (its real window reopened) and acks; A drains.
+    let resp = deliver(&mut b, &probe_actions, 11 * MS);
+    let drained = deliver(&mut a, &resp, 12 * MS);
+    let rest: Vec<u8> = sends(&drained)
+        .iter()
+        .flat_map(|(_, p)| p.clone())
+        .collect();
+    assert_eq!(rest, b"tuck", "remaining bytes flow once the window opens");
+}
+
+#[test]
+fn window_update_gating_ignores_stale_segments() {
+    let (mut a, b) = established();
+    drop(b);
+    // A current ACK advertising a large window.
+    let fresh = TcpRepr {
+        src_port: 200,
+        dst_port: 100,
+        seq: SeqNum(9001),
+        ack_num: SeqNum(1001),
+        flags: unp_wire::TcpFlags::ack(),
+        window: 8192,
+        mss: None,
+    };
+    a.on_segment(&fresh, &[], 5 * MS);
+    // A stale duplicate (older seq) advertising a tiny window must NOT
+    // shrink the send window (RFC 793 wl1/wl2 gating). If it did, the next
+    // send would stall below; instead data flows.
+    let stale = TcpRepr {
+        seq: SeqNum(9000),
+        window: 1,
+        ..fresh
+    };
+    a.on_segment(&stale, &[], 6 * MS);
+    let (n, actions) = a.send(&vec![7u8; 4000], 7 * MS).unwrap();
+    assert_eq!(n, 4000);
+    // Two full MSS segments go out immediately (the 1080-byte tail is
+    // Nagle-held); a 1-byte stale window would have allowed almost
+    // nothing.
+    let sent: usize = sends(&actions).iter().map(|(_, p)| p.len()).sum();
+    assert!(sent >= 2920, "stale window clamped transmission: {sent}");
+}
+
+#[test]
+fn slow_start_grows_cwnd_per_ack() {
+    let mut cfg = TcpConfig::low_latency(); // immediate ACKs clock the window
+    cfg.congestion = CongestionControl::Tahoe;
+    let (mut a, syn) = Tcb::connect((A, 100), (B, 200), cfg.clone(), 1000, 0);
+    let listener = unp_tcp::ListenTcb::new((B, 200), cfg);
+    let (syn_repr, _) = sends(&syn)[0].clone();
+    let (mut b, synack) = listener.on_syn((A, 100), &syn_repr, 9000, 0).unwrap();
+    let ack = deliver(&mut a, &synack, MS);
+    deliver(&mut b, &ack, MS);
+
+    // With cwnd = 1 MSS, a large write emits exactly one segment.
+    let (_, actions) = a.send(&vec![1u8; 8 * 1460], 2 * MS).unwrap();
+    assert_eq!(sends(&actions).len(), 1, "slow start begins at one MSS");
+    // Each ACK doubles the allowance (1 → 2 → 4 ...).
+    let resp = deliver(&mut b, &actions, 3 * MS);
+    let burst2 = deliver(&mut a, &resp, 4 * MS);
+    assert_eq!(sends(&burst2).len(), 2, "second flight: two segments");
+    let resp2 = deliver(&mut b, &burst2, 5 * MS);
+    let burst3 = deliver(&mut a, &resp2, 6 * MS);
+    assert!(
+        sends(&burst3).len() >= 3,
+        "third flight grows again: {}",
+        sends(&burst3).len()
+    );
+}
+
+#[test]
+fn fin_retransmitted_after_loss() {
+    let (mut a, mut b) = established();
+    let close_actions = a.close(2 * MS).unwrap();
+    let fins = sends(&close_actions);
+    assert_eq!(fins.len(), 1);
+    assert!(fins[0].0.flags.fin);
+    assert_eq!(a.state(), State::FinWait1);
+
+    // The FIN is lost; the retransmission timer re-sends it.
+    let rexmit = a.on_timer(TcpTimer::Retransmit, 1000 * MS);
+    let again = sends(&rexmit);
+    assert_eq!(again.len(), 1);
+    assert!(again[0].0.flags.fin, "FIN must be retransmitted");
+    assert_eq!(again[0].0.seq, fins[0].0.seq, "same sequence number");
+
+    // Deliver it; B acks and moves to CLOSE_WAIT; A reaches FIN_WAIT_2.
+    let resp = deliver(&mut b, &rexmit, 1001 * MS);
+    assert_eq!(b.state(), State::CloseWait);
+    deliver(&mut a, &resp, 1002 * MS);
+    assert_eq!(a.state(), State::FinWait2);
+}
+
+#[test]
+fn time_wait_reacks_retransmitted_fin_and_restarts_2msl() {
+    let (mut a, mut b) = established();
+    // A closes; B acks and closes too; A lands in TIME_WAIT.
+    let a_fin = a.close(2 * MS).unwrap();
+    let b_resp = deliver(&mut b, &a_fin, 3 * MS);
+    deliver(&mut a, &b_resp, 4 * MS);
+    let b_fin = b.close(5 * MS).unwrap();
+    let a_resp = deliver(&mut a, &b_fin, 6 * MS);
+    assert_eq!(a.state(), State::TimeWait);
+    deliver(&mut b, &a_resp, 7 * MS);
+    assert_eq!(b.state(), State::Closed);
+
+    // B's FIN is retransmitted (its ACK was lost in some other universe):
+    // A must re-ACK and restart the quarantine, staying in TIME_WAIT.
+    let (fin_repr, fin_payload) = sends(&b_fin)[0].clone();
+    let reack = a.on_segment(&fin_repr, &fin_payload, 8 * MS);
+    assert!(
+        !sends(&reack).is_empty(),
+        "retransmitted FIN must be re-ACKed: {reack:?}"
+    );
+    assert!(reack
+        .iter()
+        .any(|x| matches!(x, TcpAction::SetTimer(TcpTimer::TimeWait, _))));
+    assert_eq!(a.state(), State::TimeWait);
+
+    // 2MSL later the block closes.
+    let done = a.on_timer(TcpTimer::TimeWait, 120_000 * MS);
+    assert!(done.iter().any(|x| matches!(x, TcpAction::ConnClosed)));
+    assert_eq!(a.state(), State::Closed);
+}
+
+#[test]
+fn data_received_in_close_wait_still_delivered() {
+    let (mut a, mut b) = established();
+    // A sends data + FIN together.
+    let (_, data_actions) = a.send(b"last words", 2 * MS).unwrap();
+    let fin_actions = a.close(2 * MS).unwrap();
+    let mut all = data_actions;
+    all.extend(fin_actions);
+    let resp = deliver(&mut b, &all, 3 * MS);
+    assert_eq!(b.state(), State::CloseWait);
+    let (data, _) = b.recv(usize::MAX, 4 * MS);
+    assert_eq!(data, b"last words");
+    assert!(b.at_eof());
+    // B can still send in CLOSE_WAIT (half-close semantics).
+    let (n, back) = b.send(b"good bye", 5 * MS).unwrap();
+    assert_eq!(n, 8);
+    assert!(!sends(&back).is_empty());
+    let _ = deliver(&mut a, &resp, 6 * MS);
+}

@@ -1,0 +1,116 @@
+//! Keepalive tests: idle connections are probed; live peers answer and the
+//! connection persists; dead peers cause a reset after the probe budget.
+
+use unp_tcp::{State, Tcb, TcpAction, TcpConfig, TcpTimer};
+use unp_wire::Ipv4Addr;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const SEC: u64 = 1_000_000_000;
+
+fn sends(actions: &[TcpAction]) -> Vec<(unp_wire::TcpRepr, Vec<u8>)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            TcpAction::Send(r, p) => Some((*r, p.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn deliver(dst: &mut Tcb, actions: &[TcpAction], now: u64) -> Vec<TcpAction> {
+    let mut out = Vec::new();
+    for (repr, payload) in sends(actions) {
+        out.extend(dst.on_segment(&repr, &payload, now));
+    }
+    out
+}
+
+fn keepalive_cfg() -> TcpConfig {
+    TcpConfig {
+        keepalive: Some(10 * SEC),
+        max_keepalive_probes: 3,
+        ..TcpConfig::default()
+    }
+}
+
+fn established() -> (Tcb, Tcb) {
+    let cfg = keepalive_cfg();
+    let (mut a, syn) = Tcb::connect((A, 100), (B, 200), cfg.clone(), 1000, 0);
+    let listener = unp_tcp::ListenTcb::new((B, 200), cfg);
+    let (syn_repr, _) = sends(&syn)[0].clone();
+    let (mut b, synack) = listener.on_syn((A, 100), &syn_repr, 9000, 0).unwrap();
+    let ack = deliver(&mut a, &synack, SEC / 100);
+    deliver(&mut b, &ack, SEC / 100);
+    (a, b)
+}
+
+#[test]
+fn establishment_arms_the_keepalive_timer() {
+    let cfg = keepalive_cfg();
+    let (mut a, syn) = Tcb::connect((A, 100), (B, 200), cfg.clone(), 1000, 0);
+    let listener = unp_tcp::ListenTcb::new((B, 200), cfg);
+    let (syn_repr, _) = sends(&syn)[0].clone();
+    let (mut b, synack) = listener.on_syn((A, 100), &syn_repr, 9000, 0).unwrap();
+    let ack = deliver(&mut a, &synack, SEC);
+    // The active opener arms keepalive on reaching ESTABLISHED.
+    // (We can't inspect timers directly; verify via the action stream.)
+    let (_, establish_actions) = (0, &ack);
+    let _ = establish_actions;
+    let acts = deliver(&mut b, &ack, SEC);
+    let _ = acts;
+    // Firing the timer on an idle established connection emits a probe.
+    let probe = a.on_timer(TcpTimer::Keepalive, 11 * SEC);
+    let segs = sends(&probe);
+    assert_eq!(segs.len(), 1, "one keepalive probe expected: {probe:?}");
+    assert!(segs[0].0.flags.ack && segs[0].1.is_empty());
+    assert_eq!(a.stats().probes, 1);
+}
+
+#[test]
+fn live_peer_answers_probe_and_connection_survives() {
+    let (mut a, mut b) = established();
+    for round in 1..=6u64 {
+        let probe = a.on_timer(TcpTimer::Keepalive, round * 11 * SEC);
+        assert!(!sends(&probe).is_empty(), "probe {round} must go out");
+        // The peer answers (the probe's seq is below rcv_nxt → re-ACK),
+        // which resets the failure count.
+        let reply = deliver(&mut b, &probe, round * 11 * SEC + 1);
+        assert!(!sends(&reply).is_empty(), "peer must answer the probe");
+        deliver(&mut a, &reply, round * 11 * SEC + 2);
+        assert_eq!(a.state(), State::Established);
+    }
+}
+
+#[test]
+fn dead_peer_causes_reset_after_probe_budget() {
+    let (mut a, b) = established();
+    drop(b); // the peer machine is gone; probes vanish
+    let mut now = 11 * SEC;
+    let mut reset = false;
+    for _ in 0..10 {
+        let actions = a.on_timer(TcpTimer::Keepalive, now);
+        if actions.iter().any(|x| matches!(x, TcpAction::Reset)) {
+            reset = true;
+            break;
+        }
+        now += 11 * SEC;
+    }
+    assert!(reset, "unanswered probes must reset the connection");
+    assert_eq!(a.state(), State::Closed);
+}
+
+#[test]
+fn disabled_keepalive_never_probes() {
+    let cfg = TcpConfig::default(); // keepalive: None
+    let (mut a, syn) = Tcb::connect((A, 100), (B, 200), cfg.clone(), 1000, 0);
+    let listener = unp_tcp::ListenTcb::new((B, 200), cfg);
+    let (syn_repr, _) = sends(&syn)[0].clone();
+    let (mut b, synack) = listener.on_syn((A, 100), &syn_repr, 9000, 0).unwrap();
+    let ack = deliver(&mut a, &synack, SEC);
+    deliver(&mut b, &ack, SEC);
+    // A stray keepalive fire (should never be armed) is a no-op.
+    let actions = a.on_timer(TcpTimer::Keepalive, 100 * SEC);
+    assert!(actions.is_empty());
+    assert_eq!(a.state(), State::Established);
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: the TCP invariant that matters — the byte stream
+//! delivered equals the byte stream sent, exactly once, in order — must
+//! survive loss, duplication, reordering, and corruption.
+
+#![allow(clippy::field_reassign_with_default)] // cfg tweaking reads better this way
+
+use proptest::prelude::*;
+
+use unp_tcp::loopback::{ChannelModel, Loopback, Side};
+use unp_tcp::{CongestionControl, State, TcpConfig};
+
+fn transfer_intact(
+    data_a: &[u8],
+    data_b: &[u8],
+    chan: ChannelModel,
+    cfg: TcpConfig,
+) -> Result<(), String> {
+    let mut lb = Loopback::new(cfg.clone(), cfg, chan);
+    lb.send(Side::A, data_a);
+    lb.send(Side::B, data_b);
+    lb.close(Side::A);
+    lb.close(Side::B);
+    let done = lb.run_until(2_000_000, |lb| {
+        lb.received(Side::B).len() == data_a.len()
+            && lb.received(Side::A).len() == data_b.len()
+            && lb.events(Side::A).peer_closed
+            && lb.events(Side::B).peer_closed
+    });
+    if !done {
+        return Err(format!(
+            "stalled: B got {}/{} A got {}/{} states {:?}/{:?}",
+            lb.received(Side::B).len(),
+            data_a.len(),
+            lb.received(Side::A).len(),
+            data_b.len(),
+            lb.state(Side::A),
+            lb.state(Side::B),
+        ));
+    }
+    if lb.received(Side::B) != data_a {
+        return Err("A→B stream corrupted".into());
+    }
+    if lb.received(Side::A) != data_b {
+        return Err("B→A stream corrupted".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bidirectional transfer over a hostile channel delivers both streams
+    /// intact and both sides learn of the close.
+    #[test]
+    fn streams_intact_under_impairment(
+        seed in 1u64..10_000,
+        loss in 0.0f64..0.15,
+        len_a in 0usize..20_000,
+        len_b in 0usize..5_000,
+    ) {
+        let data_a: Vec<u8> = (0..len_a).map(|i| (i as u64 * 31 + seed) as u8).collect();
+        let data_b: Vec<u8> = (0..len_b).map(|i| (i as u64 * 17 + seed) as u8).collect();
+        let chan = ChannelModel::lossy(seed, loss);
+        transfer_intact(&data_a, &data_b, chan, TcpConfig::default())
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The same invariant holds with congestion control enabled.
+    #[test]
+    fn streams_intact_with_congestion_control(
+        seed in 1u64..10_000,
+        reno in proptest::bool::ANY,
+        len in 1usize..30_000,
+    ) {
+        let mut cfg = TcpConfig::default();
+        cfg.congestion = if reno { CongestionControl::Reno } else { CongestionControl::Tahoe };
+        let data: Vec<u8> = (0..len).map(|i| (i as u64 ^ seed) as u8).collect();
+        let chan = ChannelModel::lossy(seed, 0.08);
+        transfer_intact(&data, &[], chan, cfg).map_err(TestCaseError::fail)?;
+    }
+
+    /// Tiny receive buffers (heavy zero-window episodes) never deadlock.
+    #[test]
+    fn tiny_windows_never_deadlock(
+        seed in 1u64..1000,
+        len in 1usize..8_000,
+    ) {
+        let mut cfg = TcpConfig::default();
+        cfg.recv_buf = 1024;
+        cfg.send_buf = 1024;
+        let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        let chan = ChannelModel::lossy(seed, 0.02);
+        transfer_intact(&data, &[], chan, cfg).map_err(TestCaseError::fail)?;
+    }
+
+    /// On a clean channel the connection always reaches a fully closed
+    /// state on both sides (via TIME_WAIT on one of them), with no stuck
+    /// timers.
+    #[test]
+    fn clean_close_always_terminates(
+        len in 0usize..5_000,
+        close_a_first in proptest::bool::ANY,
+    ) {
+        let data: Vec<u8> = vec![7; len];
+        let mut lb = Loopback::new(
+            TcpConfig::default(),
+            TcpConfig::default(),
+            ChannelModel::clean(),
+        );
+        lb.send(Side::A, &data);
+        if close_a_first {
+            lb.close(Side::A);
+            lb.run(100);
+            lb.close(Side::B);
+        } else {
+            lb.close(Side::B);
+            lb.run(100);
+            lb.close(Side::A);
+        }
+        let done = lb.run_until(1_000_000, |lb| {
+            lb.state(Side::A) == State::Closed && lb.state(Side::B) == State::Closed
+        });
+        prop_assert!(done, "close dance stalled: {:?}/{:?}",
+            lb.state(Side::A), lb.state(Side::B));
+        prop_assert_eq!(lb.received(Side::B).len(), len);
+    }
+}

@@ -1,0 +1,144 @@
+//! Sorted-list timer baseline.
+//!
+//! The classic pre-timing-wheel implementation (BSD `callout` lists):
+//! insertion keeps a list ordered by deadline, so `start` is O(n) and
+//! `advance` pops from the front. Exists to quantify the timing-wheel
+//! ablation in the benchmark suite.
+
+use std::collections::VecDeque;
+
+use crate::{Nanos, TimerId, TimerService};
+
+struct Node<T> {
+    deadline: Nanos,
+    seq: u64,
+    id: u64,
+    token: Option<T>,
+}
+
+/// An ordered-list timer service. See module docs.
+pub struct SortedTimerList<T> {
+    // Sorted by (deadline, seq). Dead nodes keep their slot with
+    // `token: None` until reached.
+    nodes: VecDeque<Node<T>>,
+    next_id: u64,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<T> SortedTimerList<T> {
+    /// Creates an empty list.
+    pub fn new() -> SortedTimerList<T> {
+        SortedTimerList {
+            nodes: VecDeque::new(),
+            next_id: 0,
+            next_seq: 0,
+            live: 0,
+        }
+    }
+}
+
+impl<T> Default for SortedTimerList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerService<T> for SortedTimerList<T> {
+    fn start(&mut self, deadline: Nanos, token: T) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let node = Node {
+            deadline,
+            seq,
+            id,
+            token: Some(token),
+        };
+        // O(n) ordered insert, mirroring the BSD callout list.
+        let pos = self
+            .nodes
+            .iter()
+            .position(|n| (n.deadline, n.seq) > (deadline, seq))
+            .unwrap_or(self.nodes.len());
+        self.nodes.insert(pos, node);
+        self.live += 1;
+        TimerId(id)
+    }
+
+    fn stop(&mut self, id: TimerId) -> Option<T> {
+        for n in self.nodes.iter_mut() {
+            if n.id == id.0 {
+                let t = n.token.take();
+                if t.is_some() {
+                    self.live -= 1;
+                }
+                return t;
+            }
+        }
+        None
+    }
+
+    fn advance(&mut self, now: Nanos, fired: &mut Vec<T>) {
+        while let Some(front) = self.nodes.front() {
+            if front.deadline > now {
+                break;
+            }
+            let node = self.nodes.pop_front().expect("peeked above");
+            if let Some(t) = node.token {
+                self.live -= 1;
+                fired.push(t);
+            }
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Nanos> {
+        self.nodes
+            .iter()
+            .find(|n| n.token.is_some())
+            .map(|n| n.deadline)
+    }
+
+    fn pending(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut l = SortedTimerList::new();
+        l.start(30, "c");
+        l.start(10, "a");
+        l.start(20, "b");
+        let mut fired = Vec::new();
+        l.advance(100, &mut fired);
+        assert_eq!(fired, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn stop_middle_entry() {
+        let mut l = SortedTimerList::new();
+        l.start(10, 1);
+        let id = l.start(20, 2);
+        l.start(30, 3);
+        assert_eq!(l.stop(id), Some(2));
+        assert_eq!(l.pending(), 2);
+        let mut fired = Vec::new();
+        l.advance(100, &mut fired);
+        assert_eq!(fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn next_deadline_skips_dead_nodes() {
+        let mut l = SortedTimerList::new();
+        let id = l.start(10, 1);
+        l.start(20, 2);
+        l.stop(id);
+        assert_eq!(l.next_deadline(), Some(20));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property test: the hierarchical timing wheel and the sorted-list
+//! baseline are observationally equivalent under arbitrary interleavings
+//! of start / stop / advance — the wheel is an optimization, never a
+//! semantic change.
+
+use proptest::prelude::*;
+
+use unp_timers::{SortedTimerList, TimerId, TimerService, TimerWheel};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start { delay: u64 },
+    StopNth(usize),
+    Advance { by: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..5_000_000_000).prop_map(|delay| Op::Start { delay }),
+        any::<usize>().prop_map(Op::StopNth),
+        (1u64..2_000_000_000).prop_map(|by| Op::Advance { by }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_equals_sorted_list(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new(0);
+        let mut list: SortedTimerList<u64> = SortedTimerList::new();
+        let mut now = 0u64;
+        let mut token = 0u64;
+        let mut live: Vec<(TimerId, TimerId)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Start { delay } => {
+                    let deadline = now + delay;
+                    let wid = wheel.start(deadline, token);
+                    let lid = list.start(deadline, token);
+                    live.push((wid, lid));
+                    token += 1;
+                }
+                Op::StopNth(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (wid, lid) = live.remove(n % live.len());
+                    let a = wheel.stop(wid);
+                    let b = list.stop(lid);
+                    prop_assert_eq!(a, b, "stop results diverged");
+                }
+                Op::Advance { by } => {
+                    now += by;
+                    let mut fw = Vec::new();
+                    let mut fl = Vec::new();
+                    wheel.advance(now, &mut fw);
+                    list.advance(now, &mut fl);
+                    prop_assert_eq!(&fw, &fl, "fired sets diverged at t={}", now);
+                    // Remove fired tokens from the live list (they are gone
+                    // from both services).
+                    live.retain(|&(wid, _)| {
+                        // A fired timer can no longer be stopped.
+                        // (We can't query by id, so probe via stop on a
+                        // clone-free API: skip — handled by stop() equality
+                        // above; just drop entries whose token fired.)
+                        let _ = wid;
+                        true
+                    });
+                    if !fw.is_empty() {
+                        // Rebuild live from scratch is impossible without
+                        // token→id maps; instead allow stops of fired ids:
+                        // both services return None equally, which the
+                        // StopNth branch asserts.
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.pending(), list.pending(), "pending diverged");
+            prop_assert_eq!(wheel.next_deadline(), list.next_deadline(), "next deadline diverged");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! DEC SRC AN1 (Autonet) link framing with the buffer queue index field.
+//!
+//! The paper's AN1 host-network interface performs *hardware* packet
+//! demultiplexing: a field in the link-level header — the **buffer queue
+//! index (BQI)** — indexes a table kept in the controller. Each table entry
+//! names a ring of pinned host buffers; the controller DMAs the packet into
+//! the next buffer of that ring, delivering it directly to the destination
+//! process. BQI zero is the default and refers to protected kernel memory.
+//!
+//! The SIGCOMM '93 paper also notes the Ultrix AN1 driver "encapsulates data
+//! into an Ethernet datagram and restricts network transmissions to 1500-byte
+//! packets", and that the registry server "inserts the BQI into an unused
+//! field in the AN1 link header". We model exactly that: an Ethernet-style
+//! header extended by a 16-bit BQI field.
+
+use crate::{get_u16, put_u16, EtherType, MacAddr, Result, WireError};
+
+/// AN1 link header length: Ethernet-style dst/src/type, the 16-bit BQI used
+/// by the controller for receive-ring selection, and a 16-bit "announce"
+/// field — the otherwise-unused header word the registry servers use to
+/// convey their receive BQI to the peer during connection setup.
+pub const AN1_HEADER_LEN: usize = 18;
+
+/// The buffer queue index reserved for protected kernel buffers.
+pub const BQI_KERNEL: u16 = 0;
+
+/// A zero-copy view over an AN1 frame.
+pub struct An1Frame<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> An1Frame<T> {
+    /// Wraps a buffer, verifying it is at least header-sized.
+    pub fn new_checked(buf: T) -> Result<An1Frame<T>> {
+        if buf.as_ref().len() < AN1_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(An1Frame { buf })
+    }
+
+    /// Destination station address.
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source station address.
+    pub fn src(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// Payload protocol.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from_u16(get_u16(self.buf.as_ref(), 12))
+    }
+
+    /// The buffer queue index used by the controller to pick the host ring.
+    pub fn bqi(&self) -> u16 {
+        get_u16(self.buf.as_ref(), 14)
+    }
+
+    /// The announce field: a BQI being conveyed to the peer at setup time
+    /// (zero when unused).
+    pub fn announce(&self) -> u16 {
+        get_u16(self.buf.as_ref(), 16)
+    }
+
+    /// Payload following the link header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_ref()[AN1_HEADER_LEN..]
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buf
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> An1Frame<T> {
+    /// Rewrites the BQI field in place (used by the registry server when
+    /// conveying an index to the remote peer during connection setup).
+    pub fn set_bqi(&mut self, bqi: u16) {
+        put_u16(self.buf.as_mut(), 14, bqi);
+    }
+}
+
+/// Owned representation of an AN1 link header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct An1Repr {
+    /// Destination station.
+    pub dst: MacAddr,
+    /// Source station.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Buffer queue index selecting the receive ring at the destination.
+    pub bqi: u16,
+    /// BQI announcement to the peer (setup-time only; zero otherwise).
+    pub announce: u16,
+}
+
+impl An1Repr {
+    /// Parses a header from a frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &An1Frame<T>) -> An1Repr {
+        An1Repr {
+            dst: frame.dst(),
+            src: frame.src(),
+            ethertype: frame.ethertype(),
+            bqi: frame.bqi(),
+            announce: frame.announce(),
+        }
+    }
+
+    /// Writes this header into the first [`AN1_HEADER_LEN`] bytes of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < AN1_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        put_u16(buf, 12, self.ethertype.to_u16());
+        put_u16(buf, 14, self.bqi);
+        put_u16(buf, 16, self.announce);
+        Ok(())
+    }
+
+    /// Builds a full frame (header + payload) as an owned vector.
+    pub fn build_frame(&self, payload: &[u8]) -> Vec<u8> {
+        let mut v = vec![0u8; AN1_HEADER_LEN + payload.len()];
+        self.emit(&mut v).expect("sized above");
+        v[AN1_HEADER_LEN..].copy_from_slice(payload);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> An1Repr {
+        An1Repr {
+            dst: MacAddr::from_host_index(9),
+            src: MacAddr::from_host_index(4),
+            ethertype: EtherType::Ipv4,
+            bqi: 3,
+            announce: 9,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample();
+        let bytes = repr.build_frame(b"payload");
+        let frame = An1Frame::new_checked(&bytes[..]).unwrap();
+        assert_eq!(An1Repr::parse(&frame), repr);
+        assert_eq!(frame.payload(), b"payload");
+    }
+
+    #[test]
+    fn default_bqi_is_kernel() {
+        let mut repr = sample();
+        repr.bqi = BQI_KERNEL;
+        let bytes = repr.build_frame(&[]);
+        let frame = An1Frame::new_checked(&bytes[..]).unwrap();
+        assert_eq!(frame.bqi(), 0);
+    }
+
+    #[test]
+    fn set_bqi_in_place() {
+        let mut bytes = sample().build_frame(b"x");
+        let mut frame = An1Frame::new_checked(&mut bytes[..]).unwrap();
+        frame.set_bqi(777);
+        let frame = An1Frame::new_checked(&bytes[..]).unwrap();
+        assert_eq!(frame.bqi(), 777);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(An1Frame::new_checked(&[0u8; 17][..]).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! ARP for IPv4 over Ethernet-style links (RFC 826).
+
+use crate::{get_u16, put_u16, Ipv4Addr, MacAddr, Result, WireError};
+
+/// Fixed length of an Ethernet/IPv4 ARP packet.
+pub const ARP_PACKET_LEN: usize = 28;
+
+/// ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+}
+
+impl ArpOp {
+    fn from_u16(v: u16) -> Result<ArpOp> {
+        match v {
+            1 => Ok(ArpOp::Request),
+            2 => Ok(ArpOp::Reply),
+            _ => Err(WireError::Malformed),
+        }
+    }
+
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+/// A zero-copy view of an ARP packet.
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wraps a buffer, verifying length and the hardware/protocol type fields.
+    pub fn new_checked(buf: T) -> Result<ArpPacket<T>> {
+        let b = buf.as_ref();
+        if b.len() < ARP_PACKET_LEN {
+            return Err(WireError::Truncated);
+        }
+        // htype=1 (Ethernet), ptype=0x0800 (IPv4), hlen=6, plen=4.
+        if get_u16(b, 0) != 1 || get_u16(b, 2) != 0x0800 || b[4] != 6 || b[5] != 4 {
+            return Err(WireError::Malformed);
+        }
+        Ok(ArpPacket { buf })
+    }
+
+    /// Operation code.
+    pub fn op(&self) -> Result<ArpOp> {
+        ArpOp::from_u16(get_u16(self.buf.as_ref(), 6))
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[8], b[9], b[10], b[11], b[12], b[13]])
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        let b = self.buf.as_ref();
+        Ipv4Addr([b[14], b[15], b[16], b[17]])
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[18], b[19], b[20], b[21], b[22], b[23]])
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        let b = self.buf.as_ref();
+        Ipv4Addr([b[24], b[25], b[26], b[27]])
+    }
+}
+
+/// Owned representation of an ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRepr {
+    /// Operation (request or reply).
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpRepr {
+    /// Parses an owned representation from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &ArpPacket<T>) -> Result<ArpRepr> {
+        Ok(ArpRepr {
+            op: p.op()?,
+            sender_mac: p.sender_mac(),
+            sender_ip: p.sender_ip(),
+            target_mac: p.target_mac(),
+            target_ip: p.target_ip(),
+        })
+    }
+
+    /// Emits a full ARP packet into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < ARP_PACKET_LEN {
+            return Err(WireError::Truncated);
+        }
+        put_u16(buf, 0, 1);
+        put_u16(buf, 2, 0x0800);
+        buf[4] = 6;
+        buf[5] = 4;
+        put_u16(buf, 6, self.op.to_u16());
+        buf[8..14].copy_from_slice(&self.sender_mac.0);
+        buf[14..18].copy_from_slice(&self.sender_ip.0);
+        buf[18..24].copy_from_slice(&self.target_mac.0);
+        buf[24..28].copy_from_slice(&self.target_ip.0);
+        Ok(())
+    }
+
+    /// Builds an owned packet.
+    pub fn build(&self) -> Vec<u8> {
+        let mut v = vec![0u8; ARP_PACKET_LEN];
+        self.emit(&mut v).expect("sized above");
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(op: ArpOp) -> ArpRepr {
+        ArpRepr {
+            op,
+            sender_mac: MacAddr::from_host_index(1),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::ZERO,
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn roundtrip_request_and_reply() {
+        for op in [ArpOp::Request, ArpOp::Reply] {
+            let repr = sample(op);
+            let bytes = repr.build();
+            let pkt = ArpPacket::new_checked(&bytes[..]).unwrap();
+            assert_eq!(ArpRepr::parse(&pkt).unwrap(), repr);
+        }
+    }
+
+    #[test]
+    fn bad_hardware_type_rejected() {
+        let mut bytes = sample(ArpOp::Request).build();
+        bytes[0] = 9;
+        assert_eq!(
+            ArpPacket::new_checked(&bytes[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let mut bytes = sample(ArpOp::Request).build();
+        bytes[7] = 99;
+        let pkt = ArpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(pkt.op().err(), Some(WireError::Malformed));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            ArpPacket::new_checked(&[0u8; 27][..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+}

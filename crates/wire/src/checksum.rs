@@ -1,0 +1,154 @@
+//! The Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//!
+//! Used by IPv4 headers, ICMP, UDP, and TCP. The checksum is the 16-bit
+//! one's-complement of the one's-complement sum of all 16-bit words of the
+//! covered data (with an implicit zero pad byte for odd lengths).
+
+use crate::{IpProtocol, Ipv4Addr};
+
+/// Sums `data` as 16-bit big-endian words in end-around-carry arithmetic,
+/// folding into a partial sum that can be combined with [`checksum_add`].
+///
+/// Returns the *unfinalized* sum (not yet complemented).
+pub fn sum_be_words(data: &[u8]) -> u32 {
+    let mut acc: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into 16 bits with end-around carry.
+#[inline]
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Computes the Internet checksum of `data`: the complement of the folded sum.
+///
+/// A verifier recomputes the checksum over data *including* the transmitted
+/// checksum field and expects zero.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum_be_words(data))
+}
+
+/// Combines two partial (unfinalized) sums.
+#[inline]
+pub fn checksum_add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+/// The pseudo-header sum for TCP/UDP over IPv4: src, dst, zero/protocol,
+/// and the transport-layer length.
+pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProtocol, len: u16) -> u32 {
+    let mut acc = 0u32;
+    acc += u32::from(u16::from_be_bytes([src.0[0], src.0[1]]));
+    acc += u32::from(u16::from_be_bytes([src.0[2], src.0[3]]));
+    acc += u32::from(u16::from_be_bytes([dst.0[0], dst.0[1]]));
+    acc += u32::from(u16::from_be_bytes([dst.0[2], dst.0[3]]));
+    acc += u32::from(proto.to_u8());
+    acc += u32::from(len);
+    acc
+}
+
+/// Computes a transport checksum over a pseudo-header plus payload bytes
+/// (header and data contiguous in `segment`).
+pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProtocol, segment: &[u8]) -> u16 {
+    let acc = pseudo_header_sum(src, dst, proto, segment.len() as u16) + sum_be_words(segment);
+    !fold(acc)
+}
+
+/// RFC 1624 incremental checksum update: given the old checksum of a
+/// structure, and the change of one aligned 16-bit field from `old` to
+/// `new`, returns the new checksum without re-summing the structure.
+pub fn checksum_incremental_u16(old_checksum: u16, old: u16, new: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
+    let acc = u32::from(!old_checksum) + u32::from(!old) + u32::from(new);
+    !fold(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = fold(sum_be_words(&data));
+        assert_eq!(sum, 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_of_checksummed_data_is_zero() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0, 0];
+        let ck = checksum(&data[..]);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(fold(sum_be_words(&data)), 0xffff);
+    }
+
+    #[test]
+    fn known_ipv4_header_checksum() {
+        // Example IPv4 header widely used in checksum documentation
+        // (wikipedia): checksum field = 0xb861.
+        let hdr = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&hdr), 0xb861);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut data = vec![0u8; 32];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        let old_ck = checksum(&data);
+        // Change the 16-bit field at offset 6.
+        let old_field = u16::from_be_bytes([data[6], data[7]]);
+        let new_field = 0x1234u16;
+        data[6..8].copy_from_slice(&new_field.to_be_bytes());
+        let recomputed = checksum(&data);
+        let incremental = checksum_incremental_u16(old_ck, old_field, new_field);
+        assert_eq!(incremental, recomputed);
+    }
+
+    #[test]
+    fn pseudo_header_sum_symmetry() {
+        let a = Ipv4Addr::new(10, 1, 2, 3);
+        let b = Ipv4Addr::new(10, 3, 2, 1);
+        // Swapping src/dst must not change the sum (addition commutes).
+        assert_eq!(
+            pseudo_header_sum(a, b, IpProtocol::Tcp, 99),
+            pseudo_header_sum(b, a, IpProtocol::Tcp, 99)
+        );
+    }
+
+    #[test]
+    fn transport_checksum_detects_corruption() {
+        let src = Ipv4Addr::new(192, 168, 0, 1);
+        let dst = Ipv4Addr::new(192, 168, 0, 2);
+        let mut seg = vec![0u8; 40];
+        for (i, b) in seg.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let ck = transport_checksum(src, dst, IpProtocol::Udp, &seg);
+        seg[20] ^= 0x01;
+        let ck2 = transport_checksum(src, dst, IpProtocol::Udp, &seg);
+        assert_ne!(ck, ck2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Ethernet II framing.
+//!
+//! The paper's Ethernet testbed uses standard Ethernet II frames (destination,
+//! source, EtherType). The link-level header identifies only the station and
+//! packet type — insufficient to demultiplex to a final user, which is why
+//! software demultiplexing (the `unp-filter` crate) is required on Ethernet.
+
+use crate::{get_u16, put_u16, MacAddr, Result, WireError};
+
+/// Length of the Ethernet II header (dst + src + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+/// Maximum Ethernet payload (MTU).
+pub const ETHERNET_MAX_PAYLOAD: usize = 1500;
+/// Minimum frame length (excluding preamble/FCS), per IEEE 802.3.
+pub const ETHERNET_MIN_FRAME: usize = 60;
+
+/// An EtherType value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800)
+    Ipv4,
+    /// ARP (0x0806)
+    Arp,
+    /// Anything else.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Decodes from the wire value.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+
+    /// Encodes to the wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// A zero-copy view of an Ethernet II frame.
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer, verifying it is at least header-sized.
+    pub fn new_checked(buf: T) -> Result<EthernetFrame<T>> {
+        if buf.as_ref().len() < ETHERNET_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(EthernetFrame { buf })
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from_u16(get_u16(self.buf.as_ref(), 12))
+    }
+
+    /// The payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buf
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buf.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+/// An owned representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Destination station.
+    pub dst: MacAddr,
+    /// Source station.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parses a header from a frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> EthernetRepr {
+        EthernetRepr {
+            dst: frame.dst(),
+            src: frame.src(),
+            ethertype: frame.ethertype(),
+        }
+    }
+
+    /// Writes this header into the first [`ETHERNET_HEADER_LEN`] bytes of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < ETHERNET_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        put_u16(buf, 12, self.ethertype.to_u16());
+        Ok(())
+    }
+
+    /// Builds a full frame (header + payload) as an owned vector.
+    pub fn build_frame(&self, payload: &[u8]) -> Vec<u8> {
+        let mut v = vec![0u8; ETHERNET_HEADER_LEN + payload.len()];
+        self.emit(&mut v).expect("sized above");
+        v[ETHERNET_HEADER_LEN..].copy_from_slice(payload);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EthernetRepr {
+        EthernetRepr {
+            dst: MacAddr::from_host_index(2),
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample();
+        let frame_bytes = repr.build_frame(&[0xaa, 0xbb, 0xcc]);
+        let frame = EthernetFrame::new_checked(&frame_bytes[..]).unwrap();
+        assert_eq!(EthernetRepr::parse(&frame), repr);
+        assert_eq!(frame.payload(), &[0xaa, 0xbb, 0xcc]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let short = [0u8; 13];
+        assert!(EthernetFrame::new_checked(&short[..]).is_err());
+    }
+
+    #[test]
+    fn ethertype_codes() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_u16(0x86dd), EtherType::Other(0x86dd));
+        assert_eq!(EtherType::Other(0x1234).to_u16(), 0x1234);
+    }
+
+    #[test]
+    fn emit_into_short_buffer_fails() {
+        let mut buf = [0u8; 10];
+        assert_eq!(sample().emit(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn payload_mut_roundtrips() {
+        let repr = sample();
+        let mut frame_bytes = repr.build_frame(&[0, 0]);
+        let mut frame = EthernetFrame::new_checked(&mut frame_bytes[..]).unwrap();
+        frame.payload_mut()[0] = 0x7f;
+        assert_eq!(frame.payload()[0], 0x7f);
+    }
+}

@@ -1,0 +1,214 @@
+//! ICMPv4 (RFC 792): echo request/reply and destination unreachable.
+//!
+//! The paper's stack (like smoltcp's) generates echo replies and uses
+//! destination-unreachable for closed UDP ports.
+
+use crate::checksum::{checksum, fold, sum_be_words};
+use crate::{get_u16, put_u16, Result, WireError};
+
+/// Minimum ICMP message length (type, code, checksum, 4-byte rest).
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// ICMP message types we understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3), with code.
+    DestUnreachable(u8),
+    /// Echo request (8).
+    EchoRequest,
+    /// Anything else (type, code).
+    Other(u8, u8),
+}
+
+/// A zero-copy view of an ICMP message.
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    /// Wraps a buffer, verifying length and checksum.
+    pub fn new_checked(buf: T) -> Result<IcmpPacket<T>> {
+        let b = buf.as_ref();
+        if b.len() < ICMP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if fold(sum_be_words(b)) != 0xffff {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(IcmpPacket { buf })
+    }
+
+    /// The message type/code.
+    pub fn icmp_type(&self) -> IcmpType {
+        let b = self.buf.as_ref();
+        match (b[0], b[1]) {
+            (0, _) => IcmpType::EchoReply,
+            (3, code) => IcmpType::DestUnreachable(code),
+            (8, _) => IcmpType::EchoRequest,
+            (t, c) => IcmpType::Other(t, c),
+        }
+    }
+
+    /// Echo identifier (meaningful for echo request/reply).
+    pub fn echo_ident(&self) -> u16 {
+        get_u16(self.buf.as_ref(), 4)
+    }
+
+    /// Echo sequence number.
+    pub fn echo_seq(&self) -> u16 {
+        get_u16(self.buf.as_ref(), 6)
+    }
+
+    /// Message body after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_ref()[ICMP_HEADER_LEN..]
+    }
+}
+
+/// Owned representation of an ICMP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpRepr {
+    /// Echo request or reply.
+    Echo {
+        /// True for requests, false for replies.
+        request: bool,
+        /// Identifier used to demultiplex ping sessions.
+        ident: u16,
+        /// Sequence number within a session.
+        seq: u16,
+        /// Echo payload bytes.
+        data: Vec<u8>,
+    },
+    /// Destination unreachable carrying the offending header bytes.
+    DestUnreachable {
+        /// Code (3 = port unreachable).
+        code: u8,
+        /// Original IP header + first 8 payload bytes.
+        original: Vec<u8>,
+    },
+}
+
+impl IcmpRepr {
+    /// Code for "port unreachable".
+    pub const PORT_UNREACHABLE: u8 = 3;
+    /// Code for "protocol unreachable".
+    pub const PROTOCOL_UNREACHABLE: u8 = 2;
+
+    /// Parses an owned representation from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &IcmpPacket<T>) -> Result<IcmpRepr> {
+        match p.icmp_type() {
+            IcmpType::EchoRequest | IcmpType::EchoReply => Ok(IcmpRepr::Echo {
+                request: p.icmp_type() == IcmpType::EchoRequest,
+                ident: p.echo_ident(),
+                seq: p.echo_seq(),
+                data: p.payload().to_vec(),
+            }),
+            IcmpType::DestUnreachable(code) => Ok(IcmpRepr::DestUnreachable {
+                code,
+                original: p.payload().to_vec(),
+            }),
+            IcmpType::Other(..) => Err(WireError::Malformed),
+        }
+    }
+
+    /// Builds an owned message with a valid checksum.
+    pub fn build(&self) -> Vec<u8> {
+        let (ty, code, rest, body): (u8, u8, [u8; 4], &[u8]) = match self {
+            IcmpRepr::Echo {
+                request,
+                ident,
+                seq,
+                data,
+            } => {
+                let mut rest = [0u8; 4];
+                rest[0..2].copy_from_slice(&ident.to_be_bytes());
+                rest[2..4].copy_from_slice(&seq.to_be_bytes());
+                (if *request { 8 } else { 0 }, 0, rest, data)
+            }
+            IcmpRepr::DestUnreachable { code, original } => (3, *code, [0u8; 4], original),
+        };
+        let mut v = vec![0u8; ICMP_HEADER_LEN + body.len()];
+        v[0] = ty;
+        v[1] = code;
+        v[4..8].copy_from_slice(&rest);
+        v[ICMP_HEADER_LEN..].copy_from_slice(body);
+        let ck = checksum(&v);
+        put_u16(&mut v, 2, ck);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let repr = IcmpRepr::Echo {
+            request: true,
+            ident: 0x1111,
+            seq: 7,
+            data: b"ping-data".to_vec(),
+        };
+        let bytes = repr.build();
+        let pkt = IcmpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(pkt.icmp_type(), IcmpType::EchoRequest);
+        assert_eq!(IcmpRepr::parse(&pkt).unwrap(), repr);
+    }
+
+    #[test]
+    fn echo_reply_roundtrip() {
+        let repr = IcmpRepr::Echo {
+            request: false,
+            ident: 3,
+            seq: 9,
+            data: vec![],
+        };
+        let bytes = repr.build();
+        let pkt = IcmpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(pkt.icmp_type(), IcmpType::EchoReply);
+    }
+
+    #[test]
+    fn dest_unreachable_roundtrip() {
+        let repr = IcmpRepr::DestUnreachable {
+            code: IcmpRepr::PORT_UNREACHABLE,
+            original: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        let bytes = repr.build();
+        let pkt = IcmpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(
+            pkt.icmp_type(),
+            IcmpType::DestUnreachable(IcmpRepr::PORT_UNREACHABLE)
+        );
+        assert_eq!(IcmpRepr::parse(&pkt).unwrap(), repr);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let repr = IcmpRepr::Echo {
+            request: true,
+            ident: 1,
+            seq: 1,
+            data: b"x".to_vec(),
+        };
+        let mut bytes = repr.build();
+        bytes[8] ^= 0xff;
+        assert_eq!(
+            IcmpPacket::new_checked(&bytes[..]).err(),
+            Some(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected_by_parse() {
+        let mut v = vec![0u8; 8];
+        v[0] = 13; // timestamp
+        let ck = checksum(&v);
+        put_u16(&mut v, 2, ck);
+        let pkt = IcmpPacket::new_checked(&v[..]).unwrap();
+        assert!(IcmpRepr::parse(&pkt).is_err());
+    }
+}

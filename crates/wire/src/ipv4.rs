@@ -1,0 +1,332 @@
+//! IPv4 (RFC 791) without options, with fragmentation fields.
+//!
+//! The paper's IP library "does not implement the functions required for
+//! handling gateway traffic"; like it, we support end-host routing (local
+//! delivery, default gateway selection in `unp-proto`) but not forwarding.
+
+use crate::checksum::{checksum, fold, sum_be_words};
+use crate::{get_u16, put_u16, Ipv4Addr, Result, WireError};
+
+/// Header length without options. We neither emit nor accept options
+/// (the paper's stack ignores them; we reject to keep parsing strict).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// An IP protocol number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// ICMP (1)
+    Icmp,
+    /// TCP (6)
+    Tcp,
+    /// UDP (17)
+    Udp,
+    /// Anything else.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// Decodes from the wire value.
+    pub fn from_u8(v: u8) -> IpProtocol {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+
+    /// Encodes to the wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+/// A zero-copy view of an IPv4 packet.
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps a buffer, verifying version, IHL, total length, and checksum.
+    pub fn new_checked(buf: T) -> Result<Ipv4Packet<T>> {
+        let b = buf.as_ref();
+        if b.len() < IPV4_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if b[0] >> 4 != 4 {
+            return Err(WireError::Malformed);
+        }
+        let ihl = usize::from(b[0] & 0x0f) * 4;
+        if ihl != IPV4_HEADER_LEN {
+            // Options unsupported.
+            return Err(WireError::Malformed);
+        }
+        let total = usize::from(get_u16(b, 2));
+        if total < ihl || total > b.len() {
+            return Err(WireError::Truncated);
+        }
+        if fold(sum_be_words(&b[..ihl])) != 0xffff {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(Ipv4Packet { buf })
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> usize {
+        usize::from(get_u16(self.buf.as_ref(), 2))
+    }
+
+    /// Identification field (for fragmentation).
+    pub fn ident(&self) -> u16 {
+        get_u16(self.buf.as_ref(), 4)
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buf.as_ref()[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buf.as_ref()[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in bytes (the wire field is in 8-byte units).
+    pub fn frag_offset(&self) -> usize {
+        usize::from(get_u16(self.buf.as_ref(), 6) & 0x1fff) * 8
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buf.as_ref()[8]
+    }
+
+    /// Payload protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from_u8(self.buf.as_ref()[9])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let b = self.buf.as_ref();
+        Ipv4Addr([b[12], b[13], b[14], b[15]])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let b = self.buf.as_ref();
+        Ipv4Addr([b[16], b[17], b[18], b[19]])
+    }
+
+    /// The payload, bounded by the total-length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_ref()[IPV4_HEADER_LEN..self.total_len()]
+    }
+}
+
+/// Owned representation of an IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Time to live (the stack default is 64, as in smoltcp and 4.3BSD-era
+    /// practice).
+    pub ttl: u8,
+    /// Identification (fragment association).
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// More-fragments flag.
+    pub more_frags: bool,
+    /// Fragment offset in bytes; must be a multiple of 8 when emitting.
+    pub frag_offset: usize,
+}
+
+impl Ipv4Repr {
+    /// A non-fragmented datagram header with TTL 64.
+    pub fn simple(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, payload_len: usize) -> Self {
+        Ipv4Repr {
+            src,
+            dst,
+            protocol,
+            payload_len,
+            ttl: 64,
+            ident: 0,
+            dont_frag: false,
+            more_frags: false,
+            frag_offset: 0,
+        }
+    }
+
+    /// Parses an owned representation from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &Ipv4Packet<T>) -> Ipv4Repr {
+        Ipv4Repr {
+            src: p.src(),
+            dst: p.dst(),
+            protocol: p.protocol(),
+            payload_len: p.total_len() - IPV4_HEADER_LEN,
+            ttl: p.ttl(),
+            ident: p.ident(),
+            dont_frag: p.dont_frag(),
+            more_frags: p.more_frags(),
+            frag_offset: p.frag_offset(),
+        }
+    }
+
+    /// Emits the header (with correct checksum) into the first
+    /// [`IPV4_HEADER_LEN`] bytes of `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if !self.frag_offset.is_multiple_of(8) || self.frag_offset / 8 > 0x1fff {
+            return Err(WireError::Malformed);
+        }
+        let total = IPV4_HEADER_LEN + self.payload_len;
+        if total > usize::from(u16::MAX) {
+            return Err(WireError::Malformed);
+        }
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = 0; // TOS
+        put_u16(buf, 2, total as u16);
+        put_u16(buf, 4, self.ident);
+        let mut flags_frag = (self.frag_offset / 8) as u16;
+        if self.dont_frag {
+            flags_frag |= 0x4000;
+        }
+        if self.more_frags {
+            flags_frag |= 0x2000;
+        }
+        put_u16(buf, 6, flags_frag);
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.to_u8();
+        put_u16(buf, 10, 0);
+        buf[12..16].copy_from_slice(&self.src.0);
+        buf[16..20].copy_from_slice(&self.dst.0);
+        let ck = checksum(&buf[..IPV4_HEADER_LEN]);
+        put_u16(buf, 10, ck);
+        Ok(())
+    }
+
+    /// Builds a full datagram (header + payload) as an owned vector.
+    pub fn build_packet(&self, payload: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(payload.len(), self.payload_len);
+        let mut v = vec![0u8; IPV4_HEADER_LEN + payload.len()];
+        self.emit(&mut v).expect("sized above");
+        v[IPV4_HEADER_LEN..].copy_from_slice(payload);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Repr {
+        Ipv4Repr {
+            ident: 0x4242,
+            ttl: 63,
+            ..Ipv4Repr::simple(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                IpProtocol::Tcp,
+                5,
+            )
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample();
+        let bytes = repr.build_packet(b"hello");
+        let pkt = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Ipv4Repr::parse(&pkt), repr);
+        assert_eq!(pkt.payload(), b"hello");
+    }
+
+    #[test]
+    fn checksum_verified_on_parse() {
+        let mut bytes = sample().build_packet(b"hello");
+        bytes[8] = bytes[8].wrapping_add(1); // corrupt TTL
+        assert_eq!(
+            Ipv4Packet::new_checked(&bytes[..]).err(),
+            Some(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn options_rejected() {
+        let mut bytes = sample().build_packet(b"hello");
+        bytes[0] = 0x46; // IHL 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&bytes[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn version_rejected() {
+        let mut bytes = sample().build_packet(b"hello");
+        bytes[0] = 0x65;
+        assert_eq!(
+            Ipv4Packet::new_checked(&bytes[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn total_length_bounds_payload() {
+        // A frame may carry link-level padding past the IP total length
+        // (Ethernet minimum frame size); payload() must not include it.
+        let repr = sample();
+        let mut bytes = repr.build_packet(b"hello");
+        bytes.extend_from_slice(&[0u8; 20]); // link padding
+        let pkt = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(pkt.payload(), b"hello");
+    }
+
+    #[test]
+    fn fragment_fields_roundtrip() {
+        let mut repr = sample();
+        repr.more_frags = true;
+        repr.frag_offset = 184 * 8;
+        repr.payload_len = 8;
+        let bytes = repr.build_packet(&[0u8; 8]);
+        let pkt = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        assert!(pkt.more_frags());
+        assert!(!pkt.dont_frag());
+        assert_eq!(pkt.frag_offset(), 184 * 8);
+    }
+
+    #[test]
+    fn unaligned_frag_offset_rejected() {
+        let mut repr = sample();
+        repr.frag_offset = 7;
+        let mut buf = [0u8; 64];
+        assert_eq!(repr.emit(&mut buf), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn truncated_total_len_rejected() {
+        let repr = sample();
+        let bytes = repr.build_packet(b"hello");
+        // Claim more data than is present.
+        let mut shorter = bytes.clone();
+        shorter.truncate(22);
+        assert_eq!(
+            Ipv4Packet::new_checked(&shorter[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+}

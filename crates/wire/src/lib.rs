@@ -1,0 +1,248 @@
+//! `unp-wire` — wire formats for the user-level network protocol stack.
+//!
+//! This crate implements the packet formats used throughout the reproduction
+//! of *"Implementing Network Protocols at User Level"* (Thekkath et al.,
+//! SIGCOMM '93): Ethernet II framing, the DEC SRC AN1 link format (including
+//! the **buffer queue index** field that the paper's hardware demultiplexing
+//! scheme relies on), ARP, IPv4, ICMPv4, UDP, and TCP.
+//!
+//! All parsers are zero-allocation views over `&[u8]`; all emitters write
+//! into caller-provided buffers (mbuf-style headroom friendly). Headers can
+//! also be converted to/from owned `*Repr` structs for convenience in the
+//! protocol state machines.
+
+pub mod an1;
+pub mod arp;
+pub mod checksum;
+pub mod ether;
+pub mod icmp;
+pub mod ipv4;
+pub mod seq;
+pub mod tcp;
+pub mod udp;
+
+pub use an1::{An1Frame, An1Repr, AN1_HEADER_LEN};
+pub use arp::{ArpOp, ArpPacket, ArpRepr, ARP_PACKET_LEN};
+pub use checksum::{checksum, checksum_add, checksum_incremental_u16, pseudo_header_sum};
+pub use ether::{
+    EtherType, EthernetFrame, EthernetRepr, ETHERNET_HEADER_LEN, ETHERNET_MAX_PAYLOAD,
+    ETHERNET_MIN_FRAME,
+};
+pub use icmp::{IcmpPacket, IcmpRepr, IcmpType};
+pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr, IPV4_HEADER_LEN};
+pub use seq::SeqNum;
+pub use tcp::{TcpFlags, TcpPacket, TcpRepr, TCP_HEADER_LEN};
+pub use udp::{UdpPacket, UdpRepr, UDP_HEADER_LEN};
+
+use core::fmt;
+
+/// Errors arising from parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is too short to contain the claimed structure.
+    Truncated,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A length, version, or type field holds an unsupported value.
+    Malformed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadChecksum => write!(f, "bad checksum"),
+            WireError::Malformed => write!(f, "malformed field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for wire operations.
+pub type Result<T> = core::result::Result<T, WireError>;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as "unspecified".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Constructs a locally-administered unicast address from a host index.
+    pub fn from_host_index(idx: u32) -> MacAddr {
+        let b = idx.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the multicast (group) bit is set (includes broadcast).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if this is a specified, non-multicast address.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && *self != Self::ZERO
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An IPv4 address. A thin wrapper so we control formatting and byte order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// `255.255.255.255`
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr([255, 255, 255, 255]);
+    /// `0.0.0.0`
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0, 0, 0, 0]);
+
+    /// Constructs an address from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// The address as a big-endian `u32`.
+    pub fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Builds an address from a big-endian `u32`.
+    pub fn from_u32(v: u32) -> Ipv4Addr {
+        Ipv4Addr(v.to_be_bytes())
+    }
+
+    /// True if this is the limited broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if this address is `0.0.0.0`.
+    pub fn is_unspecified(&self) -> bool {
+        *self == Self::UNSPECIFIED
+    }
+
+    /// True if `self` and `other` share the `prefix_len`-bit network prefix.
+    pub fn same_network(&self, other: &Ipv4Addr, prefix_len: u8) -> bool {
+        debug_assert!(prefix_len <= 32);
+        if prefix_len == 0 {
+            return true;
+        }
+        let mask = !0u32 << (32 - prefix_len as u32);
+        (self.to_u32() & mask) == (other.to_u32() & mask)
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Reads a big-endian `u16` at `off`. Panics if out of range (callers bound-check).
+#[inline]
+pub(crate) fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+/// Reads a big-endian `u32` at `off`.
+#[inline]
+pub(crate) fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Writes a big-endian `u16` at `off`.
+#[inline]
+pub(crate) fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Writes a big-endian `u32` at `off`.
+#[inline]
+pub(crate) fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_addr_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+        let m = MacAddr::from_host_index(7);
+        assert!(m.is_unicast());
+        assert!(!m.is_multicast());
+        assert_ne!(MacAddr::from_host_index(1), MacAddr::from_host_index(2));
+    }
+
+    #[test]
+    fn mac_addr_display() {
+        let m = MacAddr([0x02, 0x00, 0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(format!("{m}"), "02:00:de:ad:be:ef");
+    }
+
+    #[test]
+    fn ipv4_addr_roundtrip_u32() {
+        let a = Ipv4Addr::new(192, 168, 1, 42);
+        assert_eq!(Ipv4Addr::from_u32(a.to_u32()), a);
+        assert_eq!(format!("{a}"), "192.168.1.42");
+    }
+
+    #[test]
+    fn ipv4_same_network() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 200);
+        let c = Ipv4Addr::new(10, 0, 1, 1);
+        assert!(a.same_network(&b, 24));
+        assert!(!a.same_network(&c, 24));
+        assert!(a.same_network(&c, 16));
+        assert!(a.same_network(&c, 0));
+    }
+
+    #[test]
+    fn zero_mac_is_not_unicast() {
+        assert!(!MacAddr::ZERO.is_unicast());
+        assert!(!MacAddr::ZERO.is_multicast());
+    }
+
+    #[test]
+    fn endian_helpers() {
+        let mut buf = [0u8; 8];
+        put_u16(&mut buf, 1, 0xbeef);
+        put_u32(&mut buf, 3, 0xdeadc0de);
+        assert_eq!(get_u16(&buf, 1), 0xbeef);
+        assert_eq!(get_u32(&buf, 3), 0xdeadc0de);
+    }
+}

@@ -1,0 +1,154 @@
+//! TCP sequence-number arithmetic (RFC 793 modulo-2³² comparisons).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number with wrapping comparison semantics.
+///
+/// Comparisons are defined when the compared values are within 2³¹ of each
+/// other, which TCP's window rules guarantee.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// True if `self` strictly precedes `other` in sequence space.
+    #[inline]
+    pub fn lt(self, other: SeqNum) -> bool {
+        (self.0.wrapping_sub(other.0) as i32) < 0
+    }
+
+    /// True if `self` precedes or equals `other`.
+    #[inline]
+    pub fn le(self, other: SeqNum) -> bool {
+        (self.0.wrapping_sub(other.0) as i32) <= 0
+    }
+
+    /// True if `self` strictly follows `other`.
+    #[inline]
+    pub fn gt(self, other: SeqNum) -> bool {
+        other.lt(self)
+    }
+
+    /// True if `self` follows or equals `other`.
+    #[inline]
+    pub fn ge(self, other: SeqNum) -> bool {
+        other.le(self)
+    }
+
+    /// Signed distance `self − other` (valid when within 2³¹).
+    #[inline]
+    pub fn dist(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// The larger of two sequence numbers.
+    #[inline]
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.ge(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two sequence numbers.
+    #[inline]
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.le(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if `self` lies in the half-open window `[start, start+len)`.
+    pub fn in_window(self, start: SeqNum, len: u32) -> bool {
+        self.ge(start) && self.lt(start + len)
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    #[inline]
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    #[inline]
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = i32;
+    #[inline]
+    fn sub(self, rhs: SeqNum) -> i32 {
+        self.dist(rhs)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq:{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        let a = SeqNum(100);
+        let b = SeqNum(200);
+        assert!(a.lt(b));
+        assert!(a.le(b));
+        assert!(b.gt(a));
+        assert!(b.ge(a));
+        assert!(a.le(a));
+        assert!(!a.lt(a));
+    }
+
+    #[test]
+    fn wrapping_ordering() {
+        let near_max = SeqNum(u32::MAX - 10);
+        let wrapped = near_max + 20;
+        assert_eq!(wrapped.0, 9);
+        assert!(near_max.lt(wrapped));
+        assert!(wrapped.gt(near_max));
+        assert_eq!(wrapped.dist(near_max), 20);
+        assert_eq!(near_max.dist(wrapped), -20);
+    }
+
+    #[test]
+    fn window_membership_across_wrap() {
+        let start = SeqNum(u32::MAX - 5);
+        assert!(start.in_window(start, 10));
+        assert!((start + 9).in_window(start, 10));
+        assert!(!(start + 10).in_window(start, 10));
+        assert!(SeqNum(2).in_window(start, 10)); // wrapped member
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SeqNum(u32::MAX - 1);
+        let b = a + 5;
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sub_operator() {
+        assert_eq!(SeqNum(10) - SeqNum(3), 7);
+        assert_eq!(SeqNum(3) - SeqNum(10), -7);
+    }
+}

@@ -1,0 +1,195 @@
+//! UDP (RFC 768).
+
+use crate::checksum::{fold, pseudo_header_sum, sum_be_words};
+use crate::{get_u16, put_u16, IpProtocol, Ipv4Addr, Result, WireError};
+
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A zero-copy view of a UDP datagram.
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wraps a buffer, verifying the length field.
+    pub fn new_checked(buf: T) -> Result<UdpPacket<T>> {
+        let b = buf.as_ref();
+        if b.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = usize::from(get_u16(b, 4));
+        if len < UDP_HEADER_LEN || len > b.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(UdpPacket { buf })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        get_u16(self.buf.as_ref(), 0)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        get_u16(self.buf.as_ref(), 2)
+    }
+
+    /// Datagram length (header + payload).
+    pub fn len(&self) -> usize {
+        usize::from(get_u16(self.buf.as_ref(), 4))
+    }
+
+    /// True if the length field covers only the header.
+    pub fn is_empty(&self) -> bool {
+        self.len() == UDP_HEADER_LEN
+    }
+
+    /// The payload, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_ref()[UDP_HEADER_LEN..self.len()]
+    }
+
+    /// Verifies the checksum against the pseudo-header. Per RFC 768 an
+    /// all-zero transmitted checksum means "not computed" and passes.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let b = &self.buf.as_ref()[..self.len()];
+        if get_u16(b, 6) == 0 {
+            return true;
+        }
+        let acc = pseudo_header_sum(src, dst, IpProtocol::Udp, b.len() as u16) + sum_be_words(b);
+        fold(acc) == 0xffff
+    }
+}
+
+/// Owned representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpRepr {
+    /// Parses an owned representation from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &UdpPacket<T>) -> UdpRepr {
+        UdpRepr {
+            src_port: p.src_port(),
+            dst_port: p.dst_port(),
+        }
+    }
+
+    /// Emits header + payload into `buf`, computing the checksum
+    /// (always generated and validated, matching smoltcp's behaviour).
+    pub fn emit(&self, buf: &mut [u8], src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Result<()> {
+        let total = UDP_HEADER_LEN + payload.len();
+        if buf.len() != total || total > usize::from(u16::MAX) {
+            return Err(WireError::Truncated);
+        }
+        put_u16(buf, 0, self.src_port);
+        put_u16(buf, 2, self.dst_port);
+        put_u16(buf, 4, total as u16);
+        put_u16(buf, 6, 0);
+        buf[UDP_HEADER_LEN..].copy_from_slice(payload);
+        let acc = pseudo_header_sum(src, dst, IpProtocol::Udp, total as u16) + sum_be_words(buf);
+        let mut ck = !fold(acc);
+        if ck == 0 {
+            ck = 0xffff; // 0 is reserved for "no checksum"
+        }
+        put_u16(buf, 6, ck);
+        Ok(())
+    }
+
+    /// Builds an owned datagram.
+    pub fn build_datagram(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
+        let mut v = vec![0u8; UDP_HEADER_LEN + payload.len()];
+        self.emit(&mut v, src, dst, payload).expect("sized above");
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 2);
+
+    #[test]
+    fn roundtrip() {
+        let repr = UdpRepr {
+            src_port: 5000,
+            dst_port: 53,
+        };
+        let bytes = repr.build_datagram(SRC, DST, b"query");
+        let pkt = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(UdpRepr::parse(&pkt), repr);
+        assert_eq!(pkt.payload(), b"query");
+        assert!(pkt.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut bytes = repr.build_datagram(SRC, DST, b"abc");
+        bytes[9] ^= 0x40;
+        let pkt = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(!pkt.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut bytes = repr.build_datagram(SRC, DST, b"abc");
+        bytes[6] = 0;
+        bytes[7] = 0;
+        let pkt = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(pkt.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_field_bounds_payload() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut bytes = repr.build_datagram(SRC, DST, b"abc");
+        bytes.extend_from_slice(&[0u8; 16]); // link padding
+        let pkt = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(pkt.payload(), b"abc");
+        assert!(pkt.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut bytes = repr.build_datagram(SRC, DST, b"abc");
+        put_u16(&mut bytes, 4, 100);
+        assert_eq!(
+            UdpPacket::new_checked(&bytes[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn empty_payload() {
+        let repr = UdpRepr {
+            src_port: 9,
+            dst_port: 9,
+        };
+        let bytes = repr.build_datagram(SRC, DST, &[]);
+        let pkt = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(pkt.is_empty());
+        assert!(pkt.verify_checksum(SRC, DST));
+    }
+}

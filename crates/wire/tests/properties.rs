@@ -1,0 +1,166 @@
+//! Property-based tests for the wire formats: build/parse identity,
+//! checksum soundness, and no-panic robustness on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use unp_wire::{
+    checksum, ArpOp, ArpPacket, ArpRepr, EtherType, EthernetFrame, EthernetRepr, IcmpPacket,
+    IpProtocol, Ipv4Addr, Ipv4Packet, Ipv4Repr, MacAddr, SeqNum, TcpFlags, TcpPacket, TcpRepr,
+    UdpPacket, UdpRepr,
+};
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(Ipv4Addr)
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+proptest! {
+    /// Internet checksum: inserting the computed checksum makes the data
+    /// verify (fold to 0xffff), for any content and length.
+    #[test]
+    fn checksum_verifies_after_insertion(mut data in proptest::collection::vec(any::<u8>(), 2..512)) {
+        let even = data.len() & !1;
+        data[even - 2] = 0;
+        data[even - 1] = 0;
+        let ck = checksum(&data[..even]);
+        data[even - 2..even].copy_from_slice(&ck.to_be_bytes());
+        let sum = unp_wire::checksum::fold(unp_wire::checksum::sum_be_words(&data[..even]));
+        prop_assert_eq!(sum, 0xffff);
+    }
+
+    /// Ethernet header build→parse is the identity.
+    #[test]
+    fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), et in any::<u16>(),
+                          payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let repr = EthernetRepr { dst, src, ethertype: EtherType::from_u16(et) };
+        let frame = repr.build_frame(&payload);
+        let view = EthernetFrame::new_checked(&frame[..]).unwrap();
+        prop_assert_eq!(EthernetRepr::parse(&view), repr);
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    /// IPv4 build→parse is the identity (checksum verified on parse).
+    #[test]
+    fn ipv4_roundtrip(src in arb_ip(), dst in arb_ip(), proto in any::<u8>(), ttl in 1u8..,
+                      ident in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let repr = Ipv4Repr {
+            src, dst,
+            protocol: IpProtocol::from_u8(proto),
+            payload_len: payload.len(),
+            ttl, ident,
+            dont_frag: false, more_frags: false, frag_offset: 0,
+        };
+        let pkt = repr.build_packet(&payload);
+        let view = Ipv4Packet::new_checked(&pkt[..]).unwrap();
+        prop_assert_eq!(Ipv4Repr::parse(&view), repr);
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    /// Any single-bit corruption of an IPv4 header is caught (checksum or
+    /// structural validation).
+    #[test]
+    fn ipv4_header_bitflip_detected(src in arb_ip(), dst in arb_ip(),
+                                    byte in 0usize..20, bit in 0u8..8) {
+        let repr = Ipv4Repr::simple(src, dst, IpProtocol::Tcp, 8);
+        let mut pkt = repr.build_packet(&[0u8; 8]);
+        pkt[byte] ^= 1 << bit;
+        match Ipv4Packet::new_checked(&pkt[..]) {
+            Err(_) => {} // caught
+            Ok(v) => {
+                // A flip in the checksum-covered region must not verify;
+                // the only acceptable parse is if nothing material changed
+                // (impossible for a single flip) — so require detection.
+                prop_assert!(false, "undetected corruption at byte {byte} bit {bit}: {:?}", Ipv4Repr::parse(&v));
+            }
+        }
+    }
+
+    /// TCP segment build→parse identity, checksum included.
+    #[test]
+    fn tcp_roundtrip(src in arb_ip(), dst in arb_ip(), sport in any::<u16>(), dport in any::<u16>(),
+                     seq in any::<u32>(), ack in any::<u32>(), flags in 0u8..64, window in any::<u16>(),
+                     mss in proptest::option::of(1u16..), payload in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let repr = TcpRepr {
+            src_port: sport, dst_port: dport,
+            seq: SeqNum(seq), ack_num: SeqNum(ack),
+            flags: TcpFlags::from_u8(flags),
+            window, mss,
+        };
+        let seg = repr.build_segment(src, dst, &payload);
+        let view = TcpPacket::new_checked(&seg[..]).unwrap();
+        prop_assert!(view.verify_checksum(src, dst));
+        prop_assert_eq!(TcpRepr::parse(&view), repr);
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    /// Any payload corruption of a TCP segment fails checksum verification
+    /// (single byte change; the Internet checksum catches all 1-byte errors).
+    #[test]
+    fn tcp_payload_corruption_detected(src in arb_ip(), dst in arb_ip(),
+                                       payload in proptest::collection::vec(any::<u8>(), 1..256),
+                                       which in any::<proptest::sample::Index>(), delta in 1u8..) {
+        let repr = TcpRepr {
+            src_port: 1, dst_port: 2, seq: SeqNum(3), ack_num: SeqNum(4),
+            flags: TcpFlags::ack(), window: 100, mss: None,
+        };
+        let mut seg = repr.build_segment(src, dst, &payload);
+        let idx = 20 + which.index(payload.len());
+        seg[idx] = seg[idx].wrapping_add(delta);
+        let view = TcpPacket::new_checked(&seg[..]).unwrap();
+        prop_assert!(!view.verify_checksum(src, dst));
+    }
+
+    /// UDP build→parse identity.
+    #[test]
+    fn udp_roundtrip(src in arb_ip(), dst in arb_ip(), sport in any::<u16>(), dport in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let repr = UdpRepr { src_port: sport, dst_port: dport };
+        let d = repr.build_datagram(src, dst, &payload);
+        let view = UdpPacket::new_checked(&d[..]).unwrap();
+        prop_assert!(view.verify_checksum(src, dst));
+        prop_assert_eq!(UdpRepr::parse(&view), repr);
+        prop_assert_eq!(view.payload(), &payload[..]);
+    }
+
+    /// ARP build→parse identity.
+    #[test]
+    fn arp_roundtrip(smac in arb_mac(), sip in arb_ip(), tmac in arb_mac(), tip in arb_ip(),
+                     is_req in any::<bool>()) {
+        let repr = ArpRepr {
+            op: if is_req { ArpOp::Request } else { ArpOp::Reply },
+            sender_mac: smac, sender_ip: sip,
+            target_mac: tmac, target_ip: tip,
+        };
+        let bytes = repr.build();
+        let view = ArpPacket::new_checked(&bytes[..]).unwrap();
+        prop_assert_eq!(ArpRepr::parse(&view).unwrap(), repr);
+    }
+
+    /// No parser panics on arbitrary input bytes.
+    #[test]
+    fn parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = EthernetFrame::new_checked(&bytes[..]).map(|f| (f.dst(), f.src(), f.ethertype()));
+        let _ = Ipv4Packet::new_checked(&bytes[..]).map(|p| (p.src(), p.dst(), p.payload().len()));
+        let _ = TcpPacket::new_checked(&bytes[..]).map(|p| (p.seq(), p.mss_option(), p.payload().len()));
+        let _ = UdpPacket::new_checked(&bytes[..]).map(|p| p.payload().len());
+        let _ = ArpPacket::new_checked(&bytes[..]).map(|p| p.op());
+        let _ = IcmpPacket::new_checked(&bytes[..]).map(|p| p.icmp_type());
+        let _ = unp_wire::An1Frame::new_checked(&bytes[..]).map(|f| (f.bqi(), f.announce()));
+    }
+
+    /// Sequence-number comparison is a strict total order within any
+    /// half-space window, and dist is antisymmetric.
+    #[test]
+    fn seqnum_ordering_laws(base in any::<u32>(), a_off in 0u32..0x7fff_ffff, b_off in 0u32..0x7fff_ffff) {
+        let base = SeqNum(base);
+        let a = base + a_off;
+        let b = base + b_off;
+        prop_assert_eq!(a.lt(b), a_off < b_off);
+        prop_assert_eq!(a.le(b), a_off <= b_off);
+        prop_assert_eq!(a.dist(b), -(b.dist(a)));
+        prop_assert_eq!(a.max(b).0, if a_off >= b_off { a.0 } else { b.0 });
+    }
+}

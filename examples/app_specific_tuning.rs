@@ -1,0 +1,188 @@
+//! Application-specific protocol specialization — the paper's §5 future
+//! work: "simple approaches include providing a set of canned options that
+//! determine certain characteristics of a protocol."
+//!
+//! ```text
+//! cargo run --release --example app_specific_tuning
+//! ```
+//!
+//! Because the protocol is a *library in the application's address space*,
+//! each application can link a variant tuned to its traffic — something
+//! monolithic stacks can only offer through global knobs. This example
+//! measures three canned variants of the TCP library on two workloads.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use unp::core::app::{
+    AppLogic, AppOp, AppView, BulkSender, EchoApp, PingPongApp, SinkApp, TransferStats,
+};
+use unp::core::world::{build_two_hosts, connect, listen, Network, OrgKind};
+use unp::tcp::TcpConfig;
+use unp::wire::Ipv4Addr;
+
+const SERVER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
+
+fn bulk_run(cfg: TcpConfig) -> f64 {
+    let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    let stats = TransferStats::new_shared();
+    let st = Rc::clone(&stats);
+    listen(
+        &mut w,
+        1,
+        80,
+        cfg.clone(),
+        Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)))),
+    );
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        cfg,
+        Box::new(BulkSender::new(500_000, 4096)),
+        4096,
+    );
+    eng.run(&mut w, 50_000_000);
+    let tput = stats.borrow().throughput_bps().unwrap_or(0.0) / 1e6;
+    tput
+}
+
+fn latency_run(cfg: TcpConfig) -> f64 {
+    let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    let stats = TransferStats::new_shared();
+    listen(&mut w, 1, 80, cfg.clone(), Box::new(|| Box::new(EchoApp)));
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        cfg,
+        Box::new(PingPongApp::new(64, 20, Rc::clone(&stats))),
+        64,
+    );
+    eng.run(&mut w, 50_000_000);
+    let rtt = stats.borrow().mean_rtt().unwrap_or(f64::NAN) / 1e6;
+    rtt
+}
+
+/// An RPC client that sends each request as TWO writes (header, then
+/// body) — the write-write-read pattern where Nagle's algorithm and the
+/// peer's delayed ACK interact catastrophically: the second write is held
+/// until the first is acknowledged, and the acknowledgment is delayed.
+struct ChattyClient {
+    rounds: usize,
+    got: usize,
+    sent_at: u64,
+    rtts: Rc<RefCell<Vec<u64>>>,
+}
+
+impl ChattyClient {
+    fn request(&mut self, now: u64) -> Vec<AppOp> {
+        self.sent_at = now;
+        self.got = 0;
+        vec![
+            AppOp::Send(b"HDR[16------->]:".to_vec()),
+            AppOp::Send(b"body(16 bytes)..".to_vec()),
+        ]
+    }
+}
+
+impl AppLogic for ChattyClient {
+    fn on_connected(&mut self, view: &AppView) -> Vec<AppOp> {
+        self.request(view.now)
+    }
+
+    fn on_data(&mut self, data: &[u8], view: &AppView) -> Vec<AppOp> {
+        self.got += data.len();
+        if self.got < 32 {
+            return Vec::new();
+        }
+        self.rtts.borrow_mut().push(view.now - self.sent_at);
+        self.rounds -= 1;
+        if self.rounds == 0 {
+            vec![AppOp::Close]
+        } else {
+            self.request(view.now)
+        }
+    }
+}
+
+/// Echoes only once a full 32-byte request has arrived (a real RPC server
+/// cannot answer a half-received request).
+#[derive(Default)]
+struct RpcServer {
+    buffered: Vec<u8>,
+}
+
+impl AppLogic for RpcServer {
+    fn on_data(&mut self, data: &[u8], _view: &AppView) -> Vec<AppOp> {
+        self.buffered.extend_from_slice(data);
+        if self.buffered.len() >= 32 {
+            let reply: Vec<u8> = self.buffered.drain(..32).collect();
+            vec![AppOp::Send(reply)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_peer_closed(&mut self, _view: &AppView) -> Vec<AppOp> {
+        vec![AppOp::Close]
+    }
+}
+
+fn chatty_rpc_run(cfg: TcpConfig) -> f64 {
+    let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    let rtts = Rc::new(RefCell::new(Vec::new()));
+    listen(
+        &mut w,
+        1,
+        80,
+        cfg.clone(),
+        Box::new(|| Box::<RpcServer>::default()),
+    );
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        cfg,
+        Box::new(ChattyClient {
+            rounds: 10,
+            got: 0,
+            sent_at: 0,
+            rtts: Rc::clone(&rtts),
+        }),
+        16,
+    );
+    eng.run(&mut w, 50_000_000);
+    let r = rtts.borrow();
+    if r.is_empty() {
+        return f64::NAN;
+    }
+    let mean = r.iter().map(|&v| v as f64).sum::<f64>() / r.len() as f64 / 1e6;
+    mean
+}
+
+fn main() {
+    let variants: [(&str, TcpConfig); 3] = [
+        ("default", TcpConfig::default()),
+        ("bulk_transfer (64 kB buffers)", TcpConfig::bulk_transfer()),
+        ("low_latency (no Nagle/delack)", TcpConfig::low_latency()),
+    ];
+    println!(
+        "{:<34} {:>13} {:>15} {:>18}",
+        "Library variant", "Bulk (Mb/s)", "64 B RTT (ms)", "2-write RPC (ms)"
+    );
+    for (name, cfg) in variants {
+        let tput = bulk_run(cfg.clone());
+        let rtt = latency_run(cfg.clone());
+        let rpc = chatty_rpc_run(cfg);
+        println!("{:<34} {:>13.2} {:>15.2} {:>18.2}", name, tput, rtt, rpc);
+    }
+    println!();
+    println!("Each variant is the same library code with different canned");
+    println!("options — per-application, because the protocol lives in the");
+    println!("application's address space. A monolithic kernel stack would");
+    println!("apply one setting to every process on the machine.");
+}

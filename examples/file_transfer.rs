@@ -1,0 +1,38 @@
+//! Bulk file transfer across every protocol organization and both
+//! networks — the paper's Table 2 workload as a runnable application.
+//!
+//! ```text
+//! cargo run --release --example file_transfer [bytes]
+//! ```
+
+use unp::core::experiments::throughput_mbps;
+use unp::core::world::{Network, OrgKind};
+
+fn main() {
+    let bytes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    println!("Transferring {bytes} bytes (4 kB application writes)\n");
+    println!(
+        "{:<32} {:>16} {:>16}",
+        "Organization", "Ethernet (Mb/s)", "AN1 (Mb/s)"
+    );
+    for org in [
+        OrgKind::InKernel,
+        OrgKind::SingleServer,
+        OrgKind::SingleServerMsg,
+        OrgKind::DedicatedServer,
+        OrgKind::UserLibrary,
+    ] {
+        let eth = throughput_mbps(Network::Ethernet, org, 4096, bytes);
+        let an1 = throughput_mbps(Network::An1, org, 4096, bytes);
+        println!("{:<32} {:>16.2} {:>16.2}", org.label(), eth, an1);
+    }
+    println!();
+    println!("Expected shape (paper §4): the user-level library beats the");
+    println!("single-server organizations decisively, trails the in-kernel");
+    println!("stack modestly on Ethernet, and reaches parity on AN1 where");
+    println!("hardware BQI demultiplexing removes the software demux and");
+    println!("copy costs.");
+}

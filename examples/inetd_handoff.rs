@@ -1,0 +1,163 @@
+//! Connection hand-off — the paper's `inetd` scenario: "once a connection
+//! is established, it can be passed by the application to other
+//! applications without involving the registry server or the network I/O
+//! module. The port abstractions provided by the Mach kernel are
+//! sufficient for this. A typical instance of this occurs in UNIX-based
+//! systems where the Internet daemon (inetd) hands off connection
+//! end-points to specific servers such as the TELNET or FTP daemons."
+//!
+//! ```text
+//! cargo run --example inetd_handoff
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use unp::buffers::OwnerTag;
+use unp::core::app::{AppLogic, AppOp, AppView};
+use unp::core::world::{build_two_hosts, connect, listen, poke_conn, Network, OrgKind};
+use unp::kernel::PortSpace;
+use unp::tcp::TcpConfig;
+use unp::wire::Ipv4Addr;
+
+const INETD: OwnerTag = OwnerTag(100);
+const TELNETD: OwnerTag = OwnerTag(101);
+
+/// The "inetd" side: accepts, reads the service request, then (in main)
+/// the connection is handed to the telnet daemon's logic.
+#[derive(Default)]
+struct Inetd {
+    requested: Rc<RefCell<Option<String>>>,
+}
+
+impl AppLogic for Inetd {
+    fn on_data(&mut self, data: &[u8], _view: &AppView) -> Vec<AppOp> {
+        *self.requested.borrow_mut() = Some(String::from_utf8_lossy(data).into_owned());
+        Vec::new() // inetd itself never answers; the daemon will
+    }
+}
+
+/// The "telnetd" that inherits the live connection: it greets the client
+/// on takeover (triggered by a poke), then serves requests.
+#[derive(Default)]
+struct Telnetd {
+    greeted: bool,
+}
+
+impl AppLogic for Telnetd {
+    fn on_send_space(&mut self, _view: &AppView) -> Vec<AppOp> {
+        if self.greeted {
+            Vec::new()
+        } else {
+            self.greeted = true;
+            vec![AppOp::Send(b"telnetd ready".to_vec())]
+        }
+    }
+
+    fn on_data(&mut self, data: &[u8], _view: &AppView) -> Vec<AppOp> {
+        let mut reply = b"telnetd> ".to_vec();
+        reply.extend_from_slice(data);
+        vec![AppOp::Send(reply)]
+    }
+
+    fn on_peer_closed(&mut self, _view: &AppView) -> Vec<AppOp> {
+        vec![AppOp::Close]
+    }
+}
+
+/// The client: asks for telnet, then talks to whoever answers.
+struct Client {
+    log: Rc<RefCell<Vec<String>>>,
+    sent_second: bool,
+}
+
+impl AppLogic for Client {
+    fn on_connected(&mut self, _view: &AppView) -> Vec<AppOp> {
+        vec![AppOp::Send(b"SERVICE telnet".to_vec())]
+    }
+
+    fn on_data(&mut self, data: &[u8], _view: &AppView) -> Vec<AppOp> {
+        self.log
+            .borrow_mut()
+            .push(String::from_utf8_lossy(data).into_owned());
+        if !self.sent_second {
+            self.sent_second = true;
+            vec![AppOp::Send(b"ls /".to_vec())]
+        } else {
+            vec![AppOp::Close]
+        }
+    }
+}
+
+fn main() {
+    let (mut world, mut engine) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    let requested = Rc::new(RefCell::new(None));
+    let req = Rc::clone(&requested);
+    listen(
+        &mut world,
+        1,
+        23,
+        TcpConfig::default(),
+        Box::new(move || {
+            Box::new(Inetd {
+                requested: Rc::clone(&req),
+            })
+        }),
+    );
+    let log = Rc::new(RefCell::new(Vec::new()));
+    connect(
+        &mut world,
+        &mut engine,
+        0,
+        (Ipv4Addr::new(10, 0, 0, 2), 23),
+        TcpConfig::default(),
+        Box::new(Client {
+            log: Rc::clone(&log),
+            sent_second: false,
+        }),
+        64,
+    );
+
+    // Run until inetd has read the service request.
+    for _ in 0..1_000_000 {
+        if requested.borrow().is_some() || !engine.step(&mut world) {
+            break;
+        }
+    }
+    println!("inetd received: {:?}", requested.borrow().clone().unwrap());
+
+    // --- The hand-off. The kernel's port space transfers the receive
+    // right for the connection from inetd to telnetd; no registry or
+    // network I/O module involvement, exactly as in the paper. ---
+    let mut ports: PortSpace<&str> = PortSpace::new();
+    let conn_port = ports.allocate(INETD, "connection #1 (caps + shared region)");
+    ports
+        .transfer(conn_port, INETD, TELNETD)
+        .expect("inetd holds the right");
+    assert_eq!(ports.holder(conn_port), Some(TELNETD));
+    println!("port right transferred: inetd -> telnetd (kernel port space)");
+
+    // Swap the application logic on the live connection — the in-process
+    // equivalent of the new daemon picking up the inherited socket.
+    let conn_id = *world.hosts[1]
+        .conns
+        .keys()
+        .next()
+        .expect("connection is live");
+    world.hosts[1].conns.get_mut(&conn_id).expect("live").app = Box::<Telnetd>::default();
+    // The daemon announces itself over the inherited connection.
+    poke_conn(&mut world, &mut engine, 1, conn_id);
+    println!("telnetd now owns the established connection\n");
+
+    engine.run(&mut world, 1_000_000);
+
+    for line in log.borrow().iter() {
+        println!("client saw: {line:?}");
+    }
+    assert!(
+        log.borrow().iter().any(|l| l.starts_with("telnetd> ")),
+        "telnetd should have answered over the inherited connection"
+    );
+    // inetd can no longer read the connection's port.
+    assert!(ports.get(conn_port, INETD).is_err());
+}

@@ -1,0 +1,73 @@
+//! # unp — user-level network protocols
+//!
+//! A production-quality Rust reproduction of
+//! *"Implementing Network Protocols at User Level"*
+//! (Thekkath, Nguyen, Moy & Lazowska, SIGCOMM 1993).
+//!
+//! The paper shows that a complex, connection-oriented, reliable transport
+//! (TCP) can be implemented as a **user-linkable library** — rather than in
+//! the kernel or a trusted server — without sacrificing performance or
+//! security, given three mechanisms:
+//!
+//! 1. efficient, protected **input packet demultiplexing** (software packet
+//!    filters on Ethernet; the AN1's hardware **buffer queue index**);
+//! 2. **pinned shared-memory buffering** between the kernel's network I/O
+//!    module and the library, with batched semaphore notification;
+//! 3. **capability-checked transmission** against per-connection header
+//!    templates, with a trusted **registry server** owning the port
+//!    namespace and the three-way handshake.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`wire`] | Ethernet/AN1/ARP/IPv4/ICMP/UDP/TCP wire formats |
+//! | [`sim`] | deterministic discrete-event engine + 1993 cost model |
+//! | [`timers`] | hierarchical timing wheel (+ sorted-list baseline) |
+//! | [`filter`] | CSPF + BPF packet-filter VMs + compiled demux |
+//! | [`buffers`] | pktbufs, pinned shared regions, descriptor rings, BQI table |
+//! | [`netdev`] | link models, Lance-style PIO NIC, AN1 DMA/BQI NIC |
+//! | [`proto`] | ARP, IPv4 (frag/reassembly/routing), ICMP, UDP libraries |
+//! | [`tcp`] | the full TCP state machine (4.3BSD-class) |
+//! | [`kernel`] | the network I/O module: capabilities, templates, channels |
+//! | [`registry`] | the registry server: ports, handshakes, inheritance |
+//! | [`core`] | host/world assembly, all five protocol organizations, experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use unp::core::app::{BulkSender, SinkApp, TransferStats};
+//! use unp::core::world::{build_two_hosts, connect, listen, Network, OrgKind};
+//! use unp::tcp::TcpConfig;
+//! use unp::wire::Ipv4Addr;
+//! use std::rc::Rc;
+//!
+//! // Two workstations on a 10 Mb/s Ethernet, running the paper's
+//! // user-level library organization.
+//! let (mut world, mut engine) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+//!
+//! // Host 1 listens; each accepted connection gets a sink application.
+//! let stats = TransferStats::new_shared();
+//! let st = Rc::clone(&stats);
+//! listen(&mut world, 1, 80, TcpConfig::default(),
+//!     Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)))));
+//!
+//! // Host 0 connects through its registry server and streams 100 kB.
+//! connect(&mut world, &mut engine, 0, (Ipv4Addr::new(10, 0, 0, 2), 80),
+//!     TcpConfig::default(), Box::new(BulkSender::new(100_000, 4096)), 4096);
+//!
+//! engine.run(&mut world, 10_000_000);
+//! assert_eq!(stats.borrow().bytes_received, 100_000);
+//! ```
+
+pub use unp_buffers as buffers;
+pub use unp_core as core;
+pub use unp_filter as filter;
+pub use unp_kernel as kernel;
+pub use unp_netdev as netdev;
+pub use unp_proto as proto;
+pub use unp_registry as registry;
+pub use unp_sim as sim;
+pub use unp_tcp as tcp;
+pub use unp_timers as timers;
+pub use unp_wire as wire;

@@ -1,0 +1,128 @@
+//! Connection inheritance (paper §3.4): when an application exits, the
+//! registry server takes over its live connections — completing the close
+//! protocol and holding TIME_WAIT on a normal exit, or resetting the peer
+//! on an abnormal one. "A transient user linkable library is clearly not
+//! appropriate for this."
+
+use std::rc::Rc;
+
+use unp::core::app::{BulkSender, SinkApp, TransferStats};
+use unp::core::world::{app_exit, build_two_hosts, connect, listen, Network, OrgKind};
+use unp::tcp::TcpConfig;
+use unp::wire::Ipv4Addr;
+
+const SERVER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
+
+fn established_world() -> (
+    unp::core::World,
+    unp::core::Eng,
+    Rc<std::cell::RefCell<TransferStats>>,
+) {
+    let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    let stats = TransferStats::new_shared();
+    let st = Rc::clone(&stats);
+    listen(
+        &mut w,
+        1,
+        80,
+        TcpConfig::default(),
+        Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)).without_verify())),
+    );
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        SERVER,
+        TcpConfig::default(),
+        // Keep the connection open after sending.
+        Box::new(BulkSender::new(20_000, 4096).without_close()),
+        4096,
+    );
+    let ok = {
+        let mut steps = 0;
+        loop {
+            if stats.borrow().bytes_received == 20_000 {
+                break true;
+            }
+            if !eng.step(&mut w) || steps > 2_000_000 {
+                break false;
+            }
+            steps += 1;
+        }
+    };
+    assert!(ok, "transfer should complete with the connection left open");
+    (w, eng, stats)
+}
+
+#[test]
+fn normal_exit_registry_completes_the_close() {
+    let (mut w, mut eng, stats) = established_world();
+    let cid = *w.hosts[0].conns.keys().next().expect("client conn live");
+    assert_eq!(
+        w.hosts[0].registry.tracked(),
+        0,
+        "registry idle before exit"
+    );
+
+    app_exit(&mut w, &mut eng, 0, cid, false);
+    // The library no longer holds the connection...
+    assert!(w.hosts[0].conns.is_empty());
+    // ...and its channel was reclaimed immediately.
+    assert_eq!(w.hosts[0].netio.channel_count(), 0);
+
+    assert!(eng.run(&mut w, 5_000_000), "close dance must drain");
+    // The peer saw an orderly EOF, not a reset.
+    assert!(stats.borrow().peer_closed, "peer must see FIN");
+    assert!(!stats.borrow().reset, "normal exit must not RST");
+    assert_eq!(w.trace.get("connections_inherited"), 1);
+    // The registry drained its inherited connection after TIME_WAIT.
+    assert_eq!(w.hosts[0].registry.tracked(), 0);
+}
+
+#[test]
+fn abnormal_exit_registry_resets_the_peer() {
+    let (mut w, mut eng, stats) = established_world();
+    let cid = *w.hosts[0].conns.keys().next().expect("client conn live");
+
+    app_exit(&mut w, &mut eng, 0, cid, true);
+    assert!(eng.run(&mut w, 5_000_000));
+    assert!(stats.borrow().reset, "abnormal exit must RST the peer");
+    assert_eq!(w.hosts[0].registry.tracked(), 0, "nothing lingers");
+}
+
+#[test]
+fn monolithic_exit_closes_in_kernel() {
+    for abnormal in [false, true] {
+        let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::InKernel);
+        let stats = TransferStats::new_shared();
+        let st = Rc::clone(&stats);
+        listen(
+            &mut w,
+            1,
+            80,
+            TcpConfig::default(),
+            Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)).without_verify())),
+        );
+        connect(
+            &mut w,
+            &mut eng,
+            0,
+            SERVER,
+            TcpConfig::default(),
+            Box::new(BulkSender::new(10_000, 2048).without_close()),
+            2048,
+        );
+        let mut steps = 0;
+        while stats.borrow().bytes_received < 10_000 && eng.step(&mut w) && steps < 2_000_000 {
+            steps += 1;
+        }
+        let cid = *w.hosts[0].conns.keys().next().expect("live");
+        app_exit(&mut w, &mut eng, 0, cid, abnormal);
+        assert!(eng.run(&mut w, 5_000_000));
+        if abnormal {
+            assert!(stats.borrow().reset);
+        } else {
+            assert!(stats.borrow().peer_closed && !stats.borrow().reset);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! World-level property tests: for arbitrary workload shapes, every
+//! organization on every network delivers the exact byte stream and
+//! terminates cleanly. (Per-packet integrity is enforced by SinkApp's
+//! pattern verification; nondeterminism is impossible — the simulator is
+//! single-threaded and seeded.)
+
+#![allow(clippy::field_reassign_with_default)] // cfg tweaking reads better this way
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use unp::core::app::{BulkSender, EchoApp, PingPongApp, SinkApp, TransferStats};
+use unp::core::world::{build_two_hosts, connect, listen, Network, OrgKind};
+use unp::tcp::TcpConfig;
+use unp::wire::Ipv4Addr;
+
+const SERVER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
+
+fn arb_org() -> impl Strategy<Value = OrgKind> {
+    prop_oneof![
+        Just(OrgKind::InKernel),
+        Just(OrgKind::SingleServer),
+        Just(OrgKind::SingleServerMsg),
+        Just(OrgKind::DedicatedServer),
+        Just(OrgKind::UserLibrary),
+    ]
+}
+
+fn arb_net() -> impl Strategy<Value = Network> {
+    prop_oneof![Just(Network::Ethernet), Just(Network::An1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bulk transfer of arbitrary size/chunking completes, intact, under
+    /// any organization on either network.
+    #[test]
+    fn transfers_complete_intact(
+        org in arb_org(),
+        net in arb_net(),
+        total in 1u64..120_000,
+        chunk in 1usize..8192,
+        recv_buf_kb in 2usize..64,
+    ) {
+        let (mut w, mut eng) = build_two_hosts(net, org);
+        let stats = TransferStats::new_shared();
+        let st = Rc::clone(&stats);
+        let mut cfg = TcpConfig::default();
+        cfg.recv_buf = recv_buf_kb * 1024;
+        listen(&mut w, 1, 80, cfg.clone(),
+            Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)))));
+        connect(&mut w, &mut eng, 0, SERVER, cfg,
+            Box::new(BulkSender::new(total, chunk)), chunk);
+        prop_assert!(eng.run(&mut w, 80_000_000), "did not drain");
+        let s = stats.borrow();
+        prop_assert_eq!(s.bytes_received, total, "byte count");
+        prop_assert!(s.peer_closed, "FIN must arrive");
+        prop_assert!(!s.reset, "no reset expected");
+        prop_assert_eq!(w.trace.get("tx_template_rejections"), 0u64);
+    }
+
+    /// Ping-pong of arbitrary size completes all rounds under any
+    /// organization; RTTs are positive and monotone in size on average.
+    #[test]
+    fn ping_pong_rounds_complete(
+        org in arb_org(),
+        net in arb_net(),
+        size in 1usize..4096,
+        rounds in 1usize..12,
+    ) {
+        let (mut w, mut eng) = build_two_hosts(net, org);
+        let stats = TransferStats::new_shared();
+        listen(&mut w, 1, 80, TcpConfig::default(), Box::new(|| Box::new(EchoApp)));
+        connect(&mut w, &mut eng, 0, SERVER, TcpConfig::default(),
+            Box::new(PingPongApp::new(size, rounds, Rc::clone(&stats))), size);
+        prop_assert!(eng.run(&mut w, 80_000_000));
+        let s = stats.borrow();
+        prop_assert_eq!(s.rtts.len(), rounds);
+        prop_assert!(s.rtts.iter().all(|&r| r > 0));
+    }
+}
