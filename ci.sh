@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Continuous-integration gate. Run from the repo root:
+#   ./ci.sh
+#
+# Order matters: the cheap style gates fail fast before the build, and the
+# tier-1 gate (release build + full test suite) runs last.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "CI gate passed."

@@ -11,6 +11,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
+use unp_buffers::FramePool;
 use unp_filter::programs::{bpf_demux, cspf_demux, DemuxSpec};
 use unp_filter::{CompiledDemux, Demux};
 use unp_tcp::loopback::{ChannelModel, Loopback, Side};
@@ -18,7 +19,7 @@ use unp_tcp::TcpConfig;
 use unp_timers::{SortedTimerList, TimerService, TimerWheel};
 use unp_wire::{
     checksum, EtherType, EthernetRepr, IpProtocol, Ipv4Addr, Ipv4Repr, MacAddr, SeqNum, TcpFlags,
-    TcpPacket, TcpRepr,
+    TcpPacket, TcpRepr, IPV4_HEADER_LEN,
 };
 
 fn bench_checksum(c: &mut Criterion) {
@@ -30,6 +31,17 @@ fn bench_checksum(c: &mut Criterion) {
             b.iter(|| checksum(black_box(&data)))
         });
     }
+    // The one's-complement word sum itself: the u64 8-byte-folding loop
+    // against the straightforward 2-byte loop, at a full MTU payload. The
+    // wide loop must not lose (acceptance bar for the checksum satellite).
+    let data: Vec<u8> = (0..1500).map(|i| i as u8).collect();
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("sum_be_words_wide_1500", |b| {
+        b.iter(|| unp_wire::checksum::sum_be_words(black_box(&data)))
+    });
+    g.bench_function("sum_be_words_naive_1500", |b| {
+        b.iter(|| unp_wire::checksum::sum_be_words_reference(black_box(&data)))
+    });
     g.finish();
 }
 
@@ -154,6 +166,69 @@ fn bench_tcp_wire(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_frame_path(c: &mut Criterion) {
+    // End-to-end frame construction for one full-MSS TCP segment on
+    // Ethernet, the data path's innermost loop: the zero-copy way (one
+    // pooled buffer, headers emitted into headroom — what
+    // `core::world::emit_tcp_segment` does) against the allocating way
+    // (nested build_segment → build_packet → build_frame, one Vec and one
+    // copy per layer — what the path did before the frame refactor).
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 2);
+    let repr = TcpRepr {
+        src_port: 4000,
+        dst_port: 80,
+        seq: SeqNum(100),
+        ack_num: SeqNum(200),
+        flags: TcpFlags::ack(),
+        window: 8192,
+        mss: None,
+    };
+    let eth = EthernetRepr {
+        dst: MacAddr::from_host_index(2),
+        src: MacAddr::from_host_index(1),
+        ethertype: EtherType::Ipv4,
+    };
+    let payload = vec![0xa5u8; 1460];
+    let hlen = repr.header_len();
+    let lhl = 14;
+    let pool = FramePool::new(lhl + IPV4_HEADER_LEN + hlen + payload.len(), 64);
+
+    let mut g = c.benchmark_group("frame_path");
+    g.throughput(Throughput::Bytes(1460));
+    g.bench_function("pooled_headroom_build_1460", |b| {
+        b.iter(|| {
+            let mut f = pool.alloc(lhl + IPV4_HEADER_LEN + hlen, black_box(&payload));
+            f.prepend(hlen);
+            repr.emit_into(f.as_mut_slice(), src, dst).unwrap();
+            let ip = Ipv4Repr::simple(src, dst, IpProtocol::Tcp, hlen + payload.len());
+            ip.emit(f.prepend(IPV4_HEADER_LEN)).unwrap();
+            eth.emit(f.prepend(lhl)).unwrap();
+            black_box(f.len())
+            // Frame drops here; its buffer goes back to the pool freelist.
+        })
+    });
+    g.bench_function("vec_nested_build_1460", |b| {
+        b.iter(|| {
+            let seg = repr.build_segment(src, dst, black_box(&payload));
+            let ip = Ipv4Repr::simple(src, dst, IpProtocol::Tcp, seg.len());
+            let frame = eth.build_frame(&ip.build_packet(&seg));
+            black_box(frame.len())
+        })
+    });
+    // Sanity outside the timed loops: the two paths emit identical bytes.
+    let mut f = pool.alloc(lhl + IPV4_HEADER_LEN + hlen, &payload);
+    f.prepend(hlen);
+    repr.emit_into(f.as_mut_slice(), src, dst).unwrap();
+    let ip = Ipv4Repr::simple(src, dst, IpProtocol::Tcp, hlen + payload.len());
+    ip.emit(f.prepend(IPV4_HEADER_LEN)).unwrap();
+    eth.emit(f.prepend(lhl)).unwrap();
+    let seg = repr.build_segment(src, dst, &payload);
+    let ipr = Ipv4Repr::simple(src, dst, IpProtocol::Tcp, seg.len());
+    assert_eq!(&f[..], &eth.build_frame(&ipr.build_packet(&seg))[..]);
+    g.finish();
+}
+
 fn bench_loopback_transfer(c: &mut Criterion) {
     // End-to-end protocol work for a 256 kB transfer over the clean
     // loopback harness: measures the real state-machine throughput of the
@@ -184,6 +259,7 @@ criterion_group!(
     bench_demux,
     bench_timers,
     bench_tcp_wire,
+    bench_frame_path,
     bench_loopback_transfer
 );
 criterion_main!(benches);

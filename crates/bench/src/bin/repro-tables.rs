@@ -5,38 +5,58 @@
 //! cargo run -p unp-bench --release --bin repro-tables            # all
 //! cargo run -p unp-bench --release --bin repro-tables -- table2  # one
 //! cargo run -p unp-bench --release --bin repro-tables -- quick   # smaller workloads
+//! cargo run -p unp-bench --release --bin repro-tables -- --timings
+//! #   also time each table (host wall-clock, events, frame allocations),
+//! #   run the frame-pool ablation, and write BENCH_zero_copy.json
 //! ```
 
-use unp_bench::tables;
+use unp_bench::{tables, timings};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
+    let want_timings = args.iter().any(|a| a == "--timings" || a == "timings");
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     let rounds = if quick { 10 } else { 30 };
-    let pick = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "quick");
+    let selectors: Vec<&String> = args
+        .iter()
+        .filter(|a| *a != "--timings" && *a != "timings")
+        .collect();
+    let pick =
+        |name: &str| selectors.is_empty() || selectors.iter().any(|a| *a == name || *a == "quick");
 
     println!("Reproduction of \"Implementing Network Protocols at User Level\"");
     println!("(Thekkath, Nguyen, Moy, Lazowska — SIGCOMM 1993)\n");
-    if pick("table1") {
-        tables::table1();
+
+    type TableFn<'a> = (&'static str, Box<dyn FnOnce() + 'a>);
+    let runs: Vec<TableFn> = vec![
+        ("table1", Box::new(tables::table1)),
+        ("table2", Box::new(move || tables::table2(total))),
+        ("table3", Box::new(move || tables::table3(rounds))),
+        ("table4", Box::new(tables::table4)),
+        ("table5", Box::new(tables::table5)),
+        ("fig1", Box::new(move || tables::fig1_sweep(total))),
+        ("ablations", Box::new(move || tables::ablations(total))),
+    ];
+
+    let mut timed = Vec::new();
+    for (name, run) in runs {
+        if !pick(name) {
+            continue;
+        }
+        if want_timings {
+            timed.push(timings::timed(name, run));
+        } else {
+            run();
+        }
     }
-    if pick("table2") {
-        tables::table2(total);
-    }
-    if pick("table3") {
-        tables::table3(rounds);
-    }
-    if pick("table4") {
-        tables::table4();
-    }
-    if pick("table5") {
-        tables::table5();
-    }
-    if pick("fig1") {
-        tables::fig1_sweep(total);
-    }
-    if pick("ablations") {
-        tables::ablations(total);
+
+    if want_timings {
+        let cmp = timings::pool_comparison(4096, total);
+        timings::print_report(&timed, &cmp);
+        let json = timings::to_json(&timed, &cmp);
+        let path = "BENCH_zero_copy.json";
+        std::fs::write(path, &json).expect("write benchmark json");
+        println!("wrote {path}");
     }
 }

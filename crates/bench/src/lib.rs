@@ -8,3 +8,4 @@
 //!   segment processing) on the host machine.
 
 pub mod tables;
+pub mod timings;

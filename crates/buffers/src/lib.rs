@@ -20,7 +20,376 @@
 //!   control ("access control to the index is maintained through memory
 //!   protection").
 
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::rc::{Rc, Weak};
+
+/// Counters for the zero-copy frame path, kept thread-local because the
+/// simulator is single-threaded. `repro-tables --timings` reports the
+/// deltas around each table run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Backing buffers obtained from the heap allocator.
+    pub frames_fresh: u64,
+    /// Backing buffers reused from a [`FramePool`] freelist.
+    pub frames_recycled: u64,
+    /// Copy-on-write events (a writer mutated a shared frame).
+    pub cow_copies: u64,
+    /// Bytes memcpy'd by frame operations (payload copy-in and COW).
+    pub bytes_copied: u64,
+}
+
+thread_local! {
+    static FRAME_STATS: Cell<FrameStats> = const { Cell::new(FrameStats {
+        frames_fresh: 0,
+        frames_recycled: 0,
+        cow_copies: 0,
+        bytes_copied: 0,
+    }) };
+}
+
+/// Snapshot of the thread's frame counters.
+pub fn frame_stats() -> FrameStats {
+    FRAME_STATS.with(|s| s.get())
+}
+
+/// Resets the thread's frame counters to zero.
+pub fn reset_frame_stats() {
+    FRAME_STATS.with(|s| s.set(FrameStats::default()));
+}
+
+fn bump_stats(f: impl FnOnce(&mut FrameStats)) {
+    FRAME_STATS.with(|s| {
+        let mut v = s.get();
+        f(&mut v);
+        s.set(v);
+    });
+}
+
+struct Backing {
+    data: Vec<u8>,
+    pool: Weak<RefCell<PoolInner>>,
+}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            let mut p = pool.borrow_mut();
+            if p.free.len() < p.max_free && self.data.len() == p.buf_size {
+                p.free.push(std::mem::take(&mut self.data));
+            }
+        }
+    }
+}
+
+struct PoolInner {
+    buf_size: usize,
+    max_free: usize,
+    free: Vec<Vec<u8>>,
+}
+
+/// A freelist of fixed-size backing buffers for [`Frame`]s.
+///
+/// This models the pinned packet memory of the paper's network I/O module:
+/// buffers are carved out once and recycled, so the steady-state data path
+/// never touches the general allocator. Dropping the last handle to a
+/// pooled frame returns its backing buffer to the freelist automatically.
+#[derive(Clone)]
+pub struct FramePool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl std::fmt::Debug for FramePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.inner.borrow();
+        f.debug_struct("FramePool")
+            .field("buf_size", &p.buf_size)
+            .field("free", &p.free.len())
+            .field("max_free", &p.max_free)
+            .finish()
+    }
+}
+
+impl FramePool {
+    /// A pool of `buf_size`-byte buffers keeping at most `max_free` on the
+    /// freelist (excess buffers fall back to the allocator on drop).
+    pub fn new(buf_size: usize, max_free: usize) -> FramePool {
+        FramePool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                buf_size,
+                max_free,
+                free: Vec::new(),
+            })),
+        }
+    }
+
+    /// A pool that never recycles — every allocation is fresh. Used by the
+    /// `--timings` baseline to measure what the freelist saves.
+    pub fn disabled(buf_size: usize) -> FramePool {
+        FramePool::new(buf_size, 0)
+    }
+
+    /// Buffers currently sitting on the freelist.
+    pub fn free_buffers(&self) -> usize {
+        self.inner.borrow().free.len()
+    }
+
+    /// The fixed backing-buffer size this pool hands out.
+    pub fn buf_size(&self) -> usize {
+        self.inner.borrow().buf_size
+    }
+
+    fn take_buf(&self, min_len: usize) -> Vec<u8> {
+        let mut p = self.inner.borrow_mut();
+        if min_len <= p.buf_size {
+            if let Some(mut buf) = p.free.pop() {
+                bump_stats(|s| s.frames_recycled += 1);
+                // Zero only the window the caller asked for, so recycled
+                // frames are indistinguishable from fresh zeroed ones.
+                buf[..min_len].fill(0);
+                return buf;
+            }
+        }
+        let size = p.buf_size.max(min_len);
+        drop(p);
+        bump_stats(|s| s.frames_fresh += 1);
+        vec![0u8; size]
+    }
+
+    /// Allocates a frame containing `payload` with `headroom` bytes
+    /// reserved in front for headers. The one memcpy here (payload into
+    /// the buffer) is the send path's single data copy.
+    pub fn alloc(&self, headroom: usize, payload: &[u8]) -> Frame {
+        let need = headroom + payload.len();
+        let data = self.take_buf(need);
+        let mut frame = Frame {
+            backing: Rc::new(Backing {
+                data,
+                pool: Rc::downgrade(&self.inner),
+            }),
+            head: headroom,
+            len: payload.len(),
+        };
+        if !payload.is_empty() {
+            bump_stats(|s| s.bytes_copied += payload.len() as u64);
+            Rc::get_mut(&mut frame.backing)
+                .expect("fresh backing is unique")
+                .data[headroom..headroom + payload.len()]
+                .copy_from_slice(payload);
+        }
+        frame
+    }
+}
+
+/// A reference-counted, pool-backed packet buffer.
+///
+/// A `Frame` is a cheap handle (`clone` bumps a refcount) over a backing
+/// buffer, exposing a `[head, head+len)` window. Headers are prepended
+/// into headroom ([`Frame::prepend`]) and stripped without copying
+/// ([`Frame::pull`] narrows the window). Mutating a frame whose backing is
+/// shared with other handles triggers copy-on-write, so holders never
+/// observe each other's writes. When the last handle drops, a pooled
+/// backing buffer returns to its [`FramePool`] freelist.
+pub struct Frame {
+    backing: Rc<Backing>,
+    head: usize,
+    len: usize,
+}
+
+impl Frame {
+    /// Wraps a complete packet in an unpooled frame with no headroom.
+    pub fn from_vec(data: Vec<u8>) -> Frame {
+        let len = data.len();
+        bump_stats(|s| s.frames_fresh += 1);
+        Frame {
+            backing: Rc::new(Backing {
+                data,
+                pool: Weak::new(),
+            }),
+            head: 0,
+            len,
+        }
+    }
+
+    /// Remaining headroom available for prepending.
+    pub fn headroom(&self) -> usize {
+        self.head
+    }
+
+    /// Current window length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The window contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.backing.data[self.head..self.head + self.len]
+    }
+
+    /// Number of live handles sharing this frame's backing buffer.
+    pub fn ref_count(&self) -> usize {
+        Rc::strong_count(&self.backing)
+    }
+
+    /// True if both handles view the same backing buffer (no copy between
+    /// them has occurred).
+    pub fn ptr_eq(&self, other: &Frame) -> bool {
+        Rc::ptr_eq(&self.backing, &other.backing)
+    }
+
+    /// Ensures this handle is the sole owner of its backing, copying the
+    /// current window (copy-on-write) if it is shared.
+    fn make_unique(&mut self) {
+        if Rc::strong_count(&self.backing) == 1 {
+            return;
+        }
+        bump_stats(|s| {
+            s.cow_copies += 1;
+            s.bytes_copied += self.len as u64;
+        });
+        let pool = self.backing.pool.clone();
+        let mut data = match pool.upgrade() {
+            Some(inner) => FramePool { inner }.take_buf(self.backing.data.len()),
+            None => {
+                bump_stats(|s| s.frames_fresh += 1);
+                vec![0u8; self.backing.data.len()]
+            }
+        };
+        if data.len() < self.backing.data.len() {
+            data.resize(self.backing.data.len(), 0);
+        }
+        data[self.head..self.head + self.len]
+            .copy_from_slice(&self.backing.data[self.head..self.head + self.len]);
+        self.backing = Rc::new(Backing { data, pool });
+    }
+
+    /// Extends the window front by `n` bytes (a header about to be filled
+    /// in) and returns the new front region. Copy-on-write if shared.
+    ///
+    /// # Panics
+    /// Panics if headroom is insufficient — layers declare their
+    /// worst-case need up front, exactly as with [`PktBuf::prepend`].
+    pub fn prepend(&mut self, n: usize) -> &mut [u8] {
+        assert!(
+            n <= self.head,
+            "insufficient headroom: need {n}, have {}",
+            self.head
+        );
+        self.make_unique();
+        self.head -= n;
+        self.len += n;
+        let head = self.head;
+        &mut Rc::get_mut(&mut self.backing)
+            .expect("unique after make_unique")
+            .data[head..head + n]
+    }
+
+    /// Strips `n` bytes from the front (consuming a parsed header). Pure
+    /// window narrowing: never copies, shared or not.
+    pub fn pull(&mut self, n: usize) {
+        assert!(n <= self.len, "pull past end");
+        self.head += n;
+        self.len -= n;
+    }
+
+    /// A new handle over `[start, end)` of this frame's window, sharing
+    /// the same backing buffer (no copy).
+    pub fn slice(&self, start: usize, end: usize) -> Frame {
+        assert!(start <= end && end <= self.len, "slice out of range");
+        Frame {
+            backing: Rc::clone(&self.backing),
+            head: self.head + start,
+            len: end - start,
+        }
+    }
+
+    /// Mutable window contents. Copy-on-write if shared.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        self.make_unique();
+        let (head, len) = (self.head, self.len);
+        &mut Rc::get_mut(&mut self.backing)
+            .expect("unique after make_unique")
+            .data[head..head + len]
+    }
+
+    /// Copies the window out into an owned `Vec` (counted as copied
+    /// bytes — the escape hatch the zero-copy path avoids).
+    pub fn to_vec(&self) -> Vec<u8> {
+        bump_stats(|s| s.bytes_copied += self.len as u64);
+        self.as_slice().to_vec()
+    }
+}
+
+impl Clone for Frame {
+    /// Refcount bump; never copies frame bytes.
+    fn clone(&self) -> Frame {
+        Frame {
+            backing: Rc::clone(&self.backing),
+            head: self.head,
+            len: self.len,
+        }
+    }
+}
+
+impl std::ops::Deref for Frame {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frame")
+            .field("len", &self.len)
+            .field("headroom", &self.head)
+            .field("refs", &self.ref_count())
+            .finish()
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Frame {}
+
+impl PartialEq<Vec<u8>> for Frame {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Frame> for Vec<u8> {
+    fn eq(&self, other: &Frame) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Frame {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Frame {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
 
 /// A packet buffer with reserved headroom for prepending headers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -327,6 +696,158 @@ impl BqiTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_clone_is_refcount_bump() {
+        let pool = FramePool::new(256, 8);
+        reset_frame_stats();
+        let f = pool.alloc(54, b"payload");
+        let before = frame_stats();
+        let g = f.clone();
+        let h = f.clone();
+        assert_eq!(frame_stats(), before, "clone must not allocate or copy");
+        assert_eq!(f.ref_count(), 3);
+        assert!(f.ptr_eq(&g) && f.ptr_eq(&h));
+        assert_eq!(g.as_slice(), b"payload");
+    }
+
+    #[test]
+    fn frame_prepend_pull_identity() {
+        let pool = FramePool::new(256, 8);
+        let mut f = pool.alloc(34, b"data");
+        f.prepend(20).copy_from_slice(&[2u8; 20]);
+        f.prepend(14).copy_from_slice(&[1u8; 14]);
+        assert_eq!(f.len(), 38);
+        assert_eq!(&f[..14], &[1u8; 14]);
+        f.pull(14);
+        assert_eq!(&f[..20], &[2u8; 20]);
+        f.pull(20);
+        assert_eq!(f.as_slice(), b"data");
+        assert_eq!(f.headroom(), 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficient headroom")]
+    fn frame_headroom_overdraft_panics() {
+        let pool = FramePool::new(64, 2);
+        let mut f = pool.alloc(4, b"x");
+        f.prepend(5);
+    }
+
+    #[test]
+    fn frame_cow_on_shared_mutation() {
+        let pool = FramePool::new(256, 8);
+        let mut a = pool.alloc(20, b"hello");
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        reset_frame_stats();
+        a.as_mut_slice()[0] = b'H';
+        let st = frame_stats();
+        assert_eq!(st.cow_copies, 1, "shared mutation must copy-on-write");
+        assert!(!a.ptr_eq(&b), "writer must have diverged");
+        assert_eq!(a.as_slice(), b"Hello");
+        assert_eq!(b.as_slice(), b"hello", "reader must be unaffected");
+        // Now unique: further mutation is in place.
+        reset_frame_stats();
+        a.as_mut_slice()[1] = b'E';
+        assert_eq!(frame_stats().cow_copies, 0);
+    }
+
+    #[test]
+    fn frame_prepend_on_shared_frame_cows() {
+        let pool = FramePool::new(256, 8);
+        let mut a = pool.alloc(14, b"ip-packet");
+        let tap_copy = a.clone();
+        a.prepend(14).copy_from_slice(&[0xee; 14]);
+        assert_eq!(tap_copy.as_slice(), b"ip-packet");
+        assert_eq!(a.len(), 23);
+        assert_eq!(&a[..14], &[0xee; 14]);
+    }
+
+    #[test]
+    fn frame_pull_never_copies() {
+        let pool = FramePool::new(256, 8);
+        let mut a = pool.alloc(0, b"hdrpayload");
+        let b = a.clone();
+        reset_frame_stats();
+        a.pull(3);
+        assert_eq!(frame_stats().bytes_copied, 0);
+        assert!(a.ptr_eq(&b), "pull is window narrowing, not a copy");
+        assert_eq!(a.as_slice(), b"payload");
+        assert_eq!(b.as_slice(), b"hdrpayload");
+    }
+
+    #[test]
+    fn frame_slice_shares_backing() {
+        let pool = FramePool::new(256, 8);
+        let f = pool.alloc(0, b"abcdef");
+        let s = f.slice(2, 5);
+        assert_eq!(s.as_slice(), b"cde");
+        assert!(s.ptr_eq(&f));
+    }
+
+    #[test]
+    fn pool_recycles_backing_buffers() {
+        let pool = FramePool::new(128, 4);
+        reset_frame_stats();
+        {
+            let _f = pool.alloc(10, b"one");
+        }
+        assert_eq!(pool.free_buffers(), 1);
+        {
+            let _g = pool.alloc(10, b"two");
+        }
+        let st = frame_stats();
+        assert_eq!(st.frames_fresh, 1, "second alloc must reuse the buffer");
+        assert_eq!(st.frames_recycled, 1);
+    }
+
+    #[test]
+    fn pool_recycle_waits_for_last_handle() {
+        let pool = FramePool::new(128, 4);
+        let f = pool.alloc(0, b"shared");
+        let g = f.clone();
+        drop(f);
+        assert_eq!(pool.free_buffers(), 0, "still one live handle");
+        drop(g);
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn pool_oversize_alloc_is_fresh_and_not_recycled() {
+        let pool = FramePool::new(64, 4);
+        reset_frame_stats();
+        {
+            let f = pool.alloc(0, &[7u8; 200]);
+            assert_eq!(f.len(), 200);
+        }
+        assert_eq!(frame_stats().frames_fresh, 1);
+        assert_eq!(
+            pool.free_buffers(),
+            0,
+            "odd-size buffers must not pollute the freelist"
+        );
+    }
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        let pool = FramePool::disabled(128);
+        {
+            let _f = pool.alloc(0, b"x");
+        }
+        assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn recycled_frames_start_zeroed() {
+        let pool = FramePool::new(64, 4);
+        {
+            let mut f = pool.alloc(8, b"dirty-bytes-here");
+            f.as_mut_slice().fill(0xff);
+        }
+        let mut g = pool.alloc(8, b"");
+        assert_eq!(g.prepend(8), &[0u8; 8], "headroom must come back clean");
+    }
 
     #[test]
     fn pktbuf_prepend_and_pull() {

@@ -29,9 +29,16 @@ impl LinkType {
 }
 
 /// Serializes `(time, frame)` records into pcap bytes (little-endian,
-/// microsecond timestamps, format version 2.4).
-pub fn to_pcap_bytes(frames: &[(u64, Vec<u8>)], linktype: LinkType) -> Vec<u8> {
-    let mut out = Vec::with_capacity(24 + frames.iter().map(|(_, f)| 16 + f.len()).sum::<usize>());
+/// microsecond timestamps, format version 2.4). Accepts any byte
+/// container — `Vec<u8>` or the zero-copy [`unp_buffers::Frame`] handles
+/// a capture tap holds.
+pub fn to_pcap_bytes<B: AsRef<[u8]>>(frames: &[(u64, B)], linktype: LinkType) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        24 + frames
+            .iter()
+            .map(|(_, f)| 16 + f.as_ref().len())
+            .sum::<usize>(),
+    );
     // Global header.
     out.extend_from_slice(&0xa1b2_c3d4u32.to_le_bytes()); // magic
     out.extend_from_slice(&2u16.to_le_bytes()); // version major
@@ -41,6 +48,7 @@ pub fn to_pcap_bytes(frames: &[(u64, Vec<u8>)], linktype: LinkType) -> Vec<u8> {
     out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
     out.extend_from_slice(&linktype.code().to_le_bytes());
     for (t_ns, frame) in frames {
+        let frame = frame.as_ref();
         let sec = (t_ns / 1_000_000_000) as u32;
         let usec = ((t_ns % 1_000_000_000) / 1_000) as u32;
         out.extend_from_slice(&sec.to_le_bytes());
@@ -53,9 +61,9 @@ pub fn to_pcap_bytes(frames: &[(u64, Vec<u8>)], linktype: LinkType) -> Vec<u8> {
 }
 
 /// Writes `(time, frame)` records to a pcap file at `path`.
-pub fn write_pcap(
+pub fn write_pcap<B: AsRef<[u8]>>(
     path: impl AsRef<Path>,
-    frames: &[(u64, Vec<u8>)],
+    frames: &[(u64, B)],
     linktype: LinkType,
 ) -> io::Result<()> {
     let bytes = to_pcap_bytes(frames, linktype);
@@ -91,19 +99,14 @@ mod tests {
         assert_eq!(caplen, 60);
         // Second record follows the first's payload.
         let r2 = 24 + 16 + 60;
-        let sec2 = u32::from_le_bytes([
-            bytes[r2],
-            bytes[r2 + 1],
-            bytes[r2 + 2],
-            bytes[r2 + 3],
-        ]);
+        let sec2 = u32::from_le_bytes([bytes[r2], bytes[r2 + 1], bytes[r2 + 2], bytes[r2 + 3]]);
         assert_eq!(sec2, 2);
         assert_eq!(bytes.len(), 24 + 16 + 60 + 16 + 100);
     }
 
     #[test]
     fn an1_uses_user_linktype() {
-        let bytes = to_pcap_bytes(&[], LinkType::An1);
+        let bytes = to_pcap_bytes::<Vec<u8>>(&[], LinkType::An1);
         assert_eq!(
             u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
             147

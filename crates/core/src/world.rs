@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use unp_buffers::OwnerTag;
+use unp_buffers::{Frame, FramePool, OwnerTag};
 use unp_filter::programs::DemuxSpec;
 use unp_kernel::{Capability, ChannelId, Delivery, HeaderTemplate, NetIoModule};
 use unp_netdev::{An1Nic, LanceNic, Link, StationId};
@@ -21,8 +21,8 @@ use unp_sim::{CostModel, Cpu, Engine, EventId, LinkParams, Nanos, Trace};
 use unp_tcp::{ListenTcb, Tcb, TcpAction, TcpConfig, TcpTimer};
 use unp_timers::{TimerId, TimerService, TimerWheel};
 use unp_wire::{
-    An1Frame, An1Repr, ArpPacket, ArpRepr, EtherType, EthernetRepr, IpProtocol, Ipv4Addr, MacAddr,
-    TcpPacket, TcpRepr, AN1_HEADER_LEN, ETHERNET_HEADER_LEN,
+    An1Frame, An1Repr, ArpPacket, ArpRepr, EtherType, EthernetRepr, IpProtocol, Ipv4Addr, Ipv4Repr,
+    MacAddr, TcpPacket, TcpRepr, AN1_HEADER_LEN, ETHERNET_HEADER_LEN, IPV4_HEADER_LEN,
 };
 
 /// The engine type for this world.
@@ -186,12 +186,14 @@ pub struct Host {
     /// Complete is still being finalized (the activation race the paper's
     /// overlap of setup with transmission creates); delivered to the
     /// library when the channel activates.
-    parked: HashMap<(u16, Ipv4Addr, u16), Vec<Vec<u8>>>,
+    parked: HashMap<(u16, Ipv4Addr, u16), Vec<Frame>>,
     // --- monolithic bookkeeping ---
     next_port: u16,
     next_iss: u32,
-    /// Frames awaiting ARP resolution, keyed by next-hop IP.
-    arp_wait: HashMap<Ipv4Addr, Vec<(IpProtocol, Vec<u8>)>>,
+    /// IP packets awaiting ARP resolution, keyed by next-hop IP. Each is
+    /// held as a refcounted frame whose headroom (when present) receives
+    /// the link header once the MAC is known.
+    arp_wait: HashMap<Ipv4Addr, Vec<(IpProtocol, Frame)>>,
 }
 
 impl Host {
@@ -238,6 +240,12 @@ pub struct World {
     /// organization (charge user↔buffer copies like the monolithic
     /// stacks).
     pub ablate_zero_copy: bool,
+    /// The frame pool backing the zero-copy data path: outgoing segments
+    /// are built once in a pooled buffer (headers prepended into
+    /// headroom) and the buffer is recycled when the last refcounted
+    /// handle drops. Replace with [`FramePool::disabled`] to measure the
+    /// allocation behavior of the pre-pool path.
+    pub pool: FramePool,
     /// Promiscuous packet taps — the Packet Filter's original use case
     /// ("user-level network code" for monitoring): each tap's BPF program
     /// runs over every frame on the wire and counts matches.
@@ -250,8 +258,9 @@ pub struct Tap {
     program: unp_filter::BpfProgram,
     /// Matched (time, frame-length) samples.
     pub matches: Vec<(Nanos, usize)>,
-    /// Full frames, kept only for capture taps.
-    pub frames: Vec<(Nanos, Vec<u8>)>,
+    /// Full frames, kept only for capture taps. Each entry is a refcount
+    /// on the wire frame, not a copy.
+    pub frames: Vec<(Nanos, Frame)>,
     capture: bool,
 }
 
@@ -283,7 +292,7 @@ impl World {
     }
 
     /// The full frames captured by a capture tap.
-    pub fn tap_frames(&self, idx: usize) -> &[(Nanos, Vec<u8>)] {
+    pub fn tap_frames(&self, idx: usize) -> &[(Nanos, Frame)] {
         &self.taps[idx].frames
     }
 
@@ -292,13 +301,13 @@ impl World {
         &self.taps[idx].matches
     }
 
-    fn run_taps(&mut self, now: Nanos, frame: &[u8]) {
+    fn run_taps(&mut self, now: Nanos, frame: &Frame) {
         use unp_filter::Demux;
         for tap in &mut self.taps {
             if tap.program.matches(frame) {
                 tap.matches.push((now, frame.len()));
                 if tap.capture {
-                    tap.frames.push((now, frame.to_vec()));
+                    tap.frames.push((now, frame.clone()));
                 }
                 let _ = tap.name;
             }
@@ -378,6 +387,10 @@ pub fn build_hosts(n: usize, network: Network, org: OrgKind) -> (World, Eng) {
             arp_wait: HashMap::new(),
         });
     }
+    // Pool buffers cover a maximum-sized frame (MTU plus the larger link
+    // header) with slack for TCP options; oversize allocations degrade to
+    // fresh heap buffers that are simply not recycled.
+    let buf_size = link.params().mtu + AN1_HEADER_LEN + 46;
     let world = World {
         costs: CostModel::calibrated_1993(),
         network,
@@ -386,6 +399,7 @@ pub fn build_hosts(n: usize, network: Network, org: OrgKind) -> (World, Eng) {
         trace: Trace::new(),
         ablate_batching: false,
         ablate_zero_copy: false,
+        pool: FramePool::new(buf_size, 256),
         taps: Vec::new(),
     };
     (world, Engine::new())
@@ -625,7 +639,58 @@ fn tcp_seg_cost(w: &World, payload_and_hdr: usize) -> Nanos {
 // Frame construction & transmission
 // ---------------------------------------------------------------------
 
-/// Wraps an IP packet in the link header for `h`'s network.
+/// Emits the link header for `h`'s network into `buf` (the first
+/// link-header-length bytes).
+fn emit_link_header(
+    w: &World,
+    h: usize,
+    dst_mac: MacAddr,
+    bqi: u16,
+    announce: u16,
+    buf: &mut [u8],
+) {
+    let host = &w.hosts[h];
+    match &host.nic {
+        Nic::Lance(_) => EthernetRepr {
+            dst: dst_mac,
+            src: host.mac,
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(buf)
+        .expect("link headroom"),
+        Nic::An1(_) => An1Repr {
+            dst: dst_mac,
+            src: host.mac,
+            ethertype: EtherType::Ipv4,
+            bqi,
+            announce,
+        }
+        .emit(buf)
+        .expect("link headroom"),
+    }
+}
+
+/// Prepends the link header onto an IP-packet frame: in place when the
+/// frame carries link headroom (the zero-copy tx path), by copy into a
+/// fresh buffer otherwise.
+fn encap_link(
+    w: &World,
+    h: usize,
+    dst_mac: MacAddr,
+    mut ip_packet: Frame,
+    bqi: u16,
+    announce: u16,
+) -> Frame {
+    let lhl = w.hosts[h].link_header_len();
+    if ip_packet.headroom() < lhl {
+        return Frame::from_vec(build_link_frame(w, h, dst_mac, &ip_packet, bqi, announce));
+    }
+    emit_link_header(w, h, dst_mac, bqi, announce, ip_packet.prepend(lhl));
+    ip_packet
+}
+
+/// Wraps an IP packet in the link header for `h`'s network, copying into
+/// a fresh buffer ([`encap_link`]'s slow path).
 fn build_link_frame(
     w: &World,
     h: usize,
@@ -654,14 +719,15 @@ fn build_link_frame(
 }
 
 /// Resolves the next hop MAC, queueing behind ARP if needed. Returns
-/// `None` when resolution is pending (packet parked, request broadcast).
+/// `None` when resolution is pending (the IP packet is parked — a
+/// refcount bump, not a copy — and a request broadcast).
 fn resolve_mac(
     w: &mut World,
     eng: &mut Eng,
     h: usize,
     dst_ip: Ipv4Addr,
     proto: IpProtocol,
-    ip_packet: &[u8],
+    ip_packet: &Frame,
 ) -> Option<MacAddr> {
     if dst_ip.is_broadcast() {
         return Some(MacAddr::BROADCAST);
@@ -674,7 +740,7 @@ fn resolve_mac(
                 .arp_wait
                 .entry(dst_ip)
                 .or_default()
-                .push((proto, ip_packet.to_vec()));
+                .push((proto, ip_packet.clone()));
             if let Some(req) = request {
                 let frame = build_arp_frame(w, h, &req);
                 let cost = w.costs.ip_per_packet + tx_device_cost(w, h, frame.len());
@@ -687,7 +753,7 @@ fn resolve_mac(
     }
 }
 
-fn build_arp_frame(w: &World, h: usize, arp: &ArpRepr) -> Vec<u8> {
+fn build_arp_frame(w: &World, h: usize, arp: &ArpRepr) -> Frame {
     let host = &w.hosts[h];
     let dst = if arp.target_mac == MacAddr::ZERO {
         MacAddr::BROADCAST
@@ -695,7 +761,7 @@ fn build_arp_frame(w: &World, h: usize, arp: &ArpRepr) -> Vec<u8> {
         arp.target_mac
     };
     let payload = arp.build();
-    match &host.nic {
+    Frame::from_vec(match &host.nic {
         Nic::Lance(_) => EthernetRepr {
             dst,
             src: host.mac,
@@ -710,12 +776,13 @@ fn build_arp_frame(w: &World, h: usize, arp: &ArpRepr) -> Vec<u8> {
             announce: 0,
         }
         .build_frame(&payload),
-    }
+    })
 }
 
 /// Puts a frame on the wire: reserves the link and schedules arrival at
-/// each recipient.
-fn transmit_frame(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
+/// each recipient. Taps and recipients share the one frame by refcount —
+/// no per-recipient copy.
+fn transmit_frame(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     let now = eng.now();
     let (_start, arrival) = w.link.reserve(StationId(h), now, frame.len());
     let dst = MacAddr([frame[0], frame[1], frame[2], frame[3], frame[4], frame[5]]);
@@ -727,12 +794,37 @@ fn transmit_frame(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
     }
 }
 
+/// Encapsulates and transmits IP packets built by the copying slow paths
+/// (UDP, ICMP, TCP fragmentation): each is staged once into a pooled
+/// frame with link headroom, then the link header is prepended in place.
+fn send_ip_packets(
+    w: &mut World,
+    eng: &mut Eng,
+    h: usize,
+    dst_ip: Ipv4Addr,
+    proto: IpProtocol,
+    pkts: Vec<Vec<u8>>,
+) {
+    let lhl = w.hosts[h].link_header_len();
+    for ip_packet in pkts {
+        let ipf = w.pool.alloc(lhl, &ip_packet);
+        let Some(mac) = resolve_mac(w, eng, h, dst_ip, proto, &ipf) else {
+            continue;
+        };
+        let frame = encap_link(w, h, mac, ipf, 0, 0);
+        let cost = tx_device_cost(w, h, frame.len());
+        host_exec(w, eng, h, cost, move |w, eng| {
+            transmit_frame(w, eng, h, frame);
+        });
+    }
+}
+
 // ---------------------------------------------------------------------
 // Receive path
 // ---------------------------------------------------------------------
 
 /// Entry point for a frame reaching host `h`'s interface.
-pub fn frame_arrives(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
+pub fn frame_arrives(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     w.trace.bump("frames_received");
     let cost = rx_device_cost(w, h, frame.len());
     match &mut w.hosts[h].nic {
@@ -766,7 +858,7 @@ fn kernel_input(
     w: &mut World,
     eng: &mut Eng,
     h: usize,
-    frame: Vec<u8>,
+    frame: Frame,
     hw_ring: Option<unp_buffers::RingId>,
 ) {
     let lhl = w.hosts[h].link_header_len();
@@ -807,7 +899,7 @@ fn arp_input(w: &mut World, eng: &mut Eng, h: usize, payload: &[u8]) {
     if let Some(waiting) = w.hosts[h].arp_wait.remove(&repr.sender_ip) {
         let mac = repr.sender_mac;
         for (_proto, ip_packet) in waiting {
-            let frame = build_link_frame(w, h, mac, &ip_packet, 0, 0);
+            let frame = encap_link(w, h, mac, ip_packet, 0, 0);
             let cost = tx_device_cost(w, h, frame.len());
             host_exec(w, eng, h, cost, move |w, eng| {
                 transmit_frame(w, eng, h, frame);
@@ -818,9 +910,18 @@ fn arp_input(w: &mut World, eng: &mut Eng, h: usize, payload: &[u8]) {
 
 // ------------------------- monolithic input ---------------------------
 
-fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
+fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     let lhl = w.hosts[h].link_header_len();
     let now = eng.now();
+    // Zero-copy fast path: a complete unfragmented TCP datagram for us is
+    // sliced out of the wire frame (a window over the same backing buffer)
+    // instead of copied out by `receive`.
+    if let Some((src, IpProtocol::Tcp, range)) =
+        w.hosts[h].ip_ep.receive_in_place(&frame[lhl..], now)
+    {
+        let payload = frame.slice(lhl + range.start, lhl + range.end);
+        return tcp_input_direct(w, eng, h, src, payload);
+    }
     let recv = w.hosts[h].ip_ep.receive(&frame[lhl..], now);
     match recv {
         IpRecv::Complete {
@@ -828,7 +929,7 @@ fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
             src,
             payload,
             ..
-        } => tcp_input_direct(w, eng, h, src, payload),
+        } => tcp_input_direct(w, eng, h, src, Frame::from_vec(payload)),
         IpRecv::Complete {
             protocol: IpProtocol::Udp,
             src,
@@ -854,8 +955,9 @@ fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
 }
 
 /// TCP input for the monolithic organizations: in-kernel (or in-server)
-/// PCB lookup and processing.
-fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, payload: Vec<u8>) {
+/// PCB lookup and processing. `payload` is the IP payload, usually a
+/// zero-copy window over the wire frame.
+fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, payload: Frame) {
     let local_ip = w.hosts[h].ip;
     let Ok(pkt) = TcpPacket::new_checked(&payload[..]) else {
         w.trace.bump("tcp_malformed");
@@ -866,7 +968,7 @@ fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, paylo
         return;
     }
     let repr = TcpRepr::parse(&pkt);
-    let data = pkt.payload().to_vec();
+    let data = payload.slice(pkt.header_len(), payload.len());
     // Per-segment stack cost, plus the kernel→server dispatch for the
     // server-based organizations.
     let c = &w.costs;
@@ -957,15 +1059,7 @@ pub fn send_udp(
                 .ip_ep
                 .send(IpProtocol::Udp, dst.0, &dgram, mtu)
         };
-        for ip_packet in pkts {
-            if let Some(mac) = resolve_mac(w, eng, host, dst.0, IpProtocol::Udp, &ip_packet) {
-                let frame = build_link_frame(w, host, mac, &ip_packet, 0, 0);
-                let cost = tx_device_cost(w, host, frame.len());
-                host_exec(w, eng, host, cost, move |w, eng| {
-                    transmit_frame(w, eng, host, frame);
-                });
-            }
-        }
+        send_ip_packets(w, eng, host, dst.0, IpProtocol::Udp, pkts);
     });
 }
 
@@ -985,15 +1079,7 @@ pub fn send_ping(w: &mut World, eng: &mut Eng, host: usize, dst: Ipv4Addr, ident
             let mtu = w.link.params().mtu;
             w.hosts[host].ip_ep.send(IpProtocol::Icmp, dst, &msg, mtu)
         };
-        for ip_packet in pkts {
-            if let Some(mac) = resolve_mac(w, eng, host, dst, IpProtocol::Icmp, &ip_packet) {
-                let frame = build_link_frame(w, host, mac, &ip_packet, 0, 0);
-                let cost = tx_device_cost(w, host, frame.len());
-                host_exec(w, eng, host, cost, move |w, eng| {
-                    transmit_frame(w, eng, host, frame);
-                });
-            }
-        }
+        send_ip_packets(w, eng, host, dst, IpProtocol::Icmp, pkts);
     });
 }
 
@@ -1023,17 +1109,7 @@ fn udp_input(
                         let mtu = w.link.params().mtu;
                         w.hosts[h].ip_ep.send(IpProtocol::Icmp, src, &icmp, mtu)
                     };
-                    for ip_packet in pkts {
-                        if let Some(mac) =
-                            resolve_mac(w, eng, h, src, IpProtocol::Icmp, &ip_packet)
-                        {
-                            let frame = build_link_frame(w, h, mac, &ip_packet, 0, 0);
-                            let cost = tx_device_cost(w, h, frame.len());
-                            host_exec(w, eng, h, cost, move |w, eng| {
-                                transmit_frame(w, eng, h, frame);
-                            });
-                        }
-                    }
+                    send_ip_packets(w, eng, h, src, IpProtocol::Icmp, pkts);
                 });
             }
             UdpRecv::Bad(_) => w.trace.bump("udp_bad"),
@@ -1051,15 +1127,7 @@ fn icmp_input_host(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, payloa
                     let mtu = w.link.params().mtu;
                     w.hosts[h].ip_ep.send(IpProtocol::Icmp, src, &bytes, mtu)
                 };
-                for ip_packet in pkts {
-                    if let Some(mac) = resolve_mac(w, eng, h, src, IpProtocol::Icmp, &ip_packet) {
-                        let frame = build_link_frame(w, h, mac, &ip_packet, 0, 0);
-                        let cost = tx_device_cost(w, h, frame.len());
-                        host_exec(w, eng, h, cost, move |w, eng| {
-                            transmit_frame(w, eng, h, frame);
-                        });
-                    }
-                }
+                send_ip_packets(w, eng, h, src, IpProtocol::Icmp, pkts);
                 w.trace.bump("icmp_echo_replies");
             });
         }
@@ -1070,9 +1138,7 @@ fn icmp_input_host(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, payloa
                 .ok()
                 .map(|p| p.icmp_type())
             {
-                Some(unp_wire::IcmpType::EchoReply) => {
-                    w.trace.bump("icmp_echo_reply_received")
-                }
+                Some(unp_wire::IcmpType::EchoReply) => w.trace.bump("icmp_echo_reply_received"),
                 Some(unp_wire::IcmpType::DestUnreachable(_)) => {
                     w.trace.bump("icmp_dest_unreachable_received")
                 }
@@ -1089,7 +1155,7 @@ fn userlib_ip_input(
     w: &mut World,
     eng: &mut Eng,
     h: usize,
-    frame: Vec<u8>,
+    frame: Frame,
     hw_ring: Option<unp_buffers::RingId>,
 ) {
     // Only TCP goes through connection channels; other IP protocols take
@@ -1197,7 +1263,7 @@ fn library_process_chain(
     eng: &mut Eng,
     h: usize,
     cid: u32,
-    mut frames: std::collections::VecDeque<Vec<u8>>,
+    mut frames: std::collections::VecDeque<Frame>,
 ) {
     let Some(frame) = frames.pop_front() else {
         // Batch done: re-check the ring; more may have arrived while we
@@ -1234,18 +1300,28 @@ fn library_process_chain(
                 break 'one;
             }
             // The library runs its own IP input (frag handled by the
-            // shared IP library).
+            // shared IP library). The common case — a complete
+            // unfragmented datagram — is sliced out of the ring frame
+            // without copying.
             let now = eng.now();
-            let recv = w.hosts[h].ip_ep.receive(&frame[lhl..], now);
-            let IpRecv::Complete {
-                protocol: IpProtocol::Tcp,
-                src,
-                payload,
-                ..
-            } = recv
-            else {
-                w.trace.bump("lib_non_tcp");
-                break 'one;
+            let (src, payload) = match w.hosts[h].ip_ep.receive_in_place(&frame[lhl..], now) {
+                Some((src, IpProtocol::Tcp, range)) => {
+                    (src, frame.slice(lhl + range.start, lhl + range.end))
+                }
+                _ => {
+                    let recv = w.hosts[h].ip_ep.receive(&frame[lhl..], now);
+                    let IpRecv::Complete {
+                        protocol: IpProtocol::Tcp,
+                        src,
+                        payload,
+                        ..
+                    } = recv
+                    else {
+                        w.trace.bump("lib_non_tcp");
+                        break 'one;
+                    };
+                    (src, Frame::from_vec(payload))
+                }
             };
             let Ok(pkt) = TcpPacket::new_checked(&payload[..]) else {
                 break 'one;
@@ -1255,7 +1331,7 @@ fn library_process_chain(
                 break 'one;
             }
             let repr = TcpRepr::parse(&pkt);
-            let data = pkt.payload().to_vec();
+            let data = payload.slice(pkt.header_len(), payload.len());
             let actions = {
                 let Some(conn) = w.hosts[h].conns.get_mut(&cid) else {
                     break 'one;
@@ -1282,7 +1358,7 @@ fn library_wakeup_continue(w: &mut World, eng: &mut Eng, h: usize, cid: u32, rec
 
 /// Kernel-default TCP traffic: handshakes and strays, handled by the
 /// registry server (one address-space crossing away).
-fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
+fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     let lhl = w.hosts[h].link_header_len();
     // Record any BQI announcement riding the AN1 link header.
     if let Nic::An1(_) = w.hosts[h].nic {
@@ -1304,7 +1380,7 @@ fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Vec<u8>) {
     let Ok(pkt) = TcpPacket::new_checked(&frame[lhl + 20..]) else {
         return;
     };
-    let data = pkt.payload().to_vec();
+    let data = frame.slice(lhl + 20 + pkt.header_len(), frame.len());
     // Charge the protocol cost now; the routing decision happens at
     // completion time so it sees the registry/connection state as of when
     // the segment is actually examined (the arrival-time state may change
@@ -1383,24 +1459,8 @@ fn apply_registry_actions(w: &mut World, eng: &mut Eng, h: usize, actions: Vec<R
                     .unwrap_or(0);
                 let c = &w.costs;
                 let cost = c.registry_pkt_op + tcp_seg_cost(w, repr.header_len() + payload.len());
-                let local_ip = w.hosts[h].ip;
                 host_exec(w, eng, h, cost, move |w, eng| {
-                    let seg = repr.build_segment(local_ip, remote, &payload);
-                    let pkts = {
-                        let mtu = w.link.params().mtu;
-                        w.hosts[h].ip_ep.send(IpProtocol::Tcp, remote, &seg, mtu)
-                    };
-                    for ip_packet in pkts {
-                        if let Some(mac) =
-                            resolve_mac(w, eng, h, remote, IpProtocol::Tcp, &ip_packet)
-                        {
-                            let frame = build_link_frame(w, h, mac, &ip_packet, 0, announce);
-                            let cost = tx_device_cost(w, h, frame.len());
-                            host_exec(w, eng, h, cost, move |w, eng| {
-                                transmit_frame(w, eng, h, frame);
-                            });
-                        }
-                    }
+                    emit_tcp_segment(w, eng, h, &repr, &payload, remote, 0, announce, None);
                 });
             }
             RegistryAction::SetTimer(hs, t, deadline) => {
@@ -1573,7 +1633,7 @@ fn finalize_user_conn(w: &mut World, eng: &mut Eng, h: usize, hs: HsId, tcb: Tcb
 
 /// Parses a frame and feeds it to an installed connection (parked-frame
 /// delivery path; costs already charged).
-fn deliver_frame_to_conn(w: &mut World, eng: &mut Eng, h: usize, cid: u32, frame: Vec<u8>) {
+fn deliver_frame_to_conn(w: &mut World, eng: &mut Eng, h: usize, cid: u32, frame: Frame) {
     let Some((src, repr)) = peek_tcp(w, h, &frame) else {
         return;
     };
@@ -1581,7 +1641,7 @@ fn deliver_frame_to_conn(w: &mut World, eng: &mut Eng, h: usize, cid: u32, frame
     let Ok(pkt) = TcpPacket::new_checked(&frame[lhl + 20..]) else {
         return;
     };
-    let data = pkt.payload().to_vec();
+    let data = frame.slice(lhl + 20 + pkt.header_len(), frame.len());
     let _ = src;
     let now = eng.now();
     let actions = {
@@ -1686,6 +1746,67 @@ fn apply_tcp_actions(w: &mut World, eng: &mut Eng, h: usize, cid: u32, actions: 
     }
 }
 
+/// Builds one TCP segment's IP packet(s) and hands them to the link
+/// layer. Unfragmented segments — the entire measured workload — take
+/// the zero-copy path: the payload is staged once into a pooled frame
+/// and the TCP, IP, and (after ARP) link headers are prepended into its
+/// headroom, so no intermediate segment/packet vectors exist. Oversize
+/// segments fall back to [`IpEndpoint::send`] fragmentation.
+#[allow(clippy::too_many_arguments)]
+fn emit_tcp_segment(
+    w: &mut World,
+    eng: &mut Eng,
+    h: usize,
+    repr: &TcpRepr,
+    payload: &[u8],
+    remote: Ipv4Addr,
+    bqi: u16,
+    announce: u16,
+    send_cap: Option<Capability>,
+) {
+    let local_ip = w.hosts[h].ip;
+    let mtu = w.link.params().mtu;
+    let hlen = repr.header_len();
+    let lhl = w.hosts[h].link_header_len();
+    let mut ip_frames: Vec<Frame> = Vec::with_capacity(1);
+    if IPV4_HEADER_LEN + hlen + payload.len() <= mtu {
+        let mut f = w.pool.alloc(lhl + IPV4_HEADER_LEN + hlen, payload);
+        f.prepend(hlen);
+        repr.emit_into(f.as_mut_slice(), local_ip, remote)
+            .expect("segment sized for its headroom");
+        let ident = w.hosts[h].ip_ep.alloc_ident();
+        let ip_repr = Ipv4Repr {
+            ident,
+            ..Ipv4Repr::simple(local_ip, remote, IpProtocol::Tcp, hlen + payload.len())
+        };
+        ip_repr
+            .emit(f.prepend(IPV4_HEADER_LEN))
+            .expect("headroom covers the IP header");
+        ip_frames.push(f);
+    } else {
+        let seg = repr.build_segment(local_ip, remote, payload);
+        let pkts = w.hosts[h].ip_ep.send(IpProtocol::Tcp, remote, &seg, mtu);
+        ip_frames.extend(pkts.iter().map(|p| w.pool.alloc(lhl, p)));
+    }
+    for ipf in ip_frames {
+        let Some(mac) = resolve_mac(w, eng, h, remote, IpProtocol::Tcp, &ipf) else {
+            continue;
+        };
+        let frame = encap_link(w, h, mac, ipf, bqi, announce);
+        // UserLibrary: the template check really runs.
+        if let Some(cap) = send_cap {
+            if w.hosts[h].netio.transmit(cap, &frame).is_err() {
+                w.trace.bump("tx_template_rejections");
+                continue;
+            }
+        }
+        let cost = tx_device_cost(w, h, frame.len());
+        host_exec(w, eng, h, cost, move |w, eng| {
+            transmit_frame(w, eng, h, frame);
+        });
+    }
+}
+
 /// Builds and transmits one TCP segment, charging the full org-specific
 /// path. `cid` is `None` for connectionless RSTs from the kernel.
 fn send_tcp_segment(
@@ -1697,44 +1818,22 @@ fn send_tcp_segment(
     payload: Vec<u8>,
     remote: Ipv4Addr,
 ) {
-    let local_ip = w.hosts[h].ip;
     let cost = tcp_seg_cost(w, repr.header_len() + payload.len());
     host_exec(w, eng, h, cost, move |w, eng| {
-        let seg = repr.build_segment(local_ip, remote, &payload);
-        let pkts = {
-            let mtu = w.link.params().mtu;
-            w.hosts[h].ip_ep.send(IpProtocol::Tcp, remote, &seg, mtu)
-        };
         // Data frames stamp the peer's announced BQI (hardware demux).
         let bqi = cid
             .and_then(|c| w.hosts[h].conns.get(&c))
             .and_then(|c| c.chan.as_ref())
             .and_then(|ci| ci.peer_bqi)
             .unwrap_or(0);
-        let send_cap = cid
-            .and_then(|c| w.hosts[h].conns.get(&c))
-            .and_then(|c| c.chan.as_ref())
-            .map(|ci| ci.send_cap);
-        for ip_packet in pkts {
-            let Some(mac) = resolve_mac(w, eng, h, remote, IpProtocol::Tcp, &ip_packet) else {
-                continue;
-            };
-            let frame = build_link_frame(w, h, mac, &ip_packet, bqi, 0);
-            // UserLibrary: the template check really runs.
-            if w.hosts[h].org.is_user_library() {
-                if let Some(cap) = send_cap {
-                    if let Err(e) = w.hosts[h].netio.transmit(cap, &frame) {
-                        w.trace.bump("tx_template_rejections");
-                        let _ = e;
-                        continue;
-                    }
-                }
-            }
-            let cost = tx_device_cost(w, h, frame.len());
-            host_exec(w, eng, h, cost, move |w, eng| {
-                transmit_frame(w, eng, h, frame);
-            });
-        }
+        let send_cap = if w.hosts[h].org.is_user_library() {
+            cid.and_then(|c| w.hosts[h].conns.get(&c))
+                .and_then(|c| c.chan.as_ref())
+                .map(|ci| ci.send_cap)
+        } else {
+            None
+        };
+        emit_tcp_segment(w, eng, h, &repr, &payload, remote, bqi, 0, send_cap);
     });
 }
 

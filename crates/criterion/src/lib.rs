@@ -1,0 +1,165 @@
+//! A tiny, dependency-free, offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This harness implements the slice of its API our
+//! benches use — `Criterion`, `benchmark_group` with `throughput` /
+//! `sample_size` / `bench_function` / `finish`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple calibrated wall-clock measurement: each benchmark is
+//! warmed up, then timed over enough iterations to fill a measurement
+//! window, and the mean ns/iter (plus MB/s when a byte throughput is set)
+//! is printed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let measurement = self.measurement;
+        run_one(&name.into(), None, measurement, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the fixed measurement window makes
+    /// an explicit sample count unnecessary.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.criterion.measurement, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    window: Duration,
+    mut f: F,
+) {
+    // Calibrate: grow the iteration count until one batch takes ~10% of
+    // the measurement window, then time batches until the window is spent.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut b);
+        if b.elapsed >= window / 10 || b.iters >= 1 << 30 {
+            break;
+        }
+        b.iters = (b.iters * 2).max(2);
+    }
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < window {
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    let ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / ns_per_iter * 1e9 / 1e6;
+            println!("{label:<44} {ns_per_iter:>12.1} ns/iter {mbps:>10.1} MB/s ({iters} iters)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / ns_per_iter * 1e9;
+            println!("{label:<44} {ns_per_iter:>12.1} ns/iter {eps:>10.0} elem/s ({iters} iters)");
+        }
+        None => {
+            println!("{label:<44} {ns_per_iter:>12.1} ns/iter ({iters} iters)");
+        }
+    }
+}
+
+/// Declares a bench harness entry: `criterion_group!(name, fn_a, fn_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

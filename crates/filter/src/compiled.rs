@@ -7,9 +7,9 @@
 //! a few instructions." This type is that synthesized code: a straight-line
 //! match on EtherType, IP protocol, addresses, and ports.
 
-use unp_wire::Ipv4Addr;
 #[cfg(test)]
 use unp_wire::IpProtocol;
+use unp_wire::Ipv4Addr;
 
 use crate::programs::DemuxSpec;
 use crate::Demux;

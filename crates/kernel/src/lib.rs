@@ -12,7 +12,12 @@
 //!   (anti-impersonation; see [`template`]).
 //! * **Protected delivery** — per-connection demux bindings (software
 //!   filters on Ethernet, BQI rings on AN1) place incoming packets into a
-//!   pinned [`SharedRegion`] shared with exactly one library.
+//!   bounded per-channel ring shared with exactly one library. Delivery is
+//!   zero-copy: the ring holds refcounted [`unp_buffers::Frame`] handles
+//!   whose pooled backing buffers model the pinned shared-memory slots of
+//!   the paper (`unp_buffers::SharedRegion` remains the explicit model of
+//!   that memory; the hot path passes handles to it rather than copying
+//!   through it).
 //! * **Notification batching** — "our implementation attempts, where
 //!   possible, to batch multiple network packets per semaphore notification
 //!   in order to amortize the cost of signaling."
@@ -26,9 +31,9 @@ pub mod template;
 pub use ports::{PortId, PortSpace};
 pub use template::{HeaderTemplate, TemplateViolation};
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-use unp_buffers::{DescRing, Descriptor, OwnerTag, RingId, SharedRegion, SlotId};
+use unp_buffers::{Frame, OwnerTag, RingId};
 use unp_filter::programs::DemuxSpec;
 use unp_filter::{CompiledDemux, Demux};
 
@@ -79,8 +84,6 @@ pub enum Delivery {
     Channel {
         /// Receiving channel.
         id: ChannelId,
-        /// Slot the packet occupies in the shared region.
-        slot: SlotId,
         /// Whether to post the wakeup semaphore.
         signal: bool,
         /// Total filter instructions interpreted while demultiplexing
@@ -104,8 +107,12 @@ struct CapEntry {
 
 struct Channel {
     owner: OwnerTag,
-    region: SharedRegion,
-    rx_ring: DescRing,
+    /// Pinned-memory model: at most `capacity` frames of at most
+    /// `slot_size` bytes may sit in the ring, exactly as if each occupied
+    /// a slot of the channel's shared region.
+    capacity: usize,
+    slot_size: usize,
+    rx_ring: VecDeque<Frame>,
     template: HeaderTemplate,
     demux: CompiledDemux,
     /// Software demux only fires once the registry activates the binding
@@ -179,8 +186,9 @@ impl NetIoModule {
         self.next_ring += 1;
         let ch = Channel {
             owner,
-            region: SharedRegion::new(region_slots, slot_size),
-            rx_ring: DescRing::new(region_slots),
+            capacity: region_slots,
+            slot_size,
+            rx_ring: VecDeque::with_capacity(region_slots),
             template,
             demux: CompiledDemux::from_spec(spec),
             active: false,
@@ -246,9 +254,9 @@ impl NetIoModule {
     }
 
     /// Software demultiplexing (Ethernet path): runs each channel's filter
-    /// until one accepts, then places the frame in that channel's shared
-    /// region. Channels are scanned in id order (deterministic).
-    pub fn deliver_software(&mut self, frame: &[u8]) -> Delivery {
+    /// until one accepts, then places a handle to the frame in that
+    /// channel's ring. Channels are scanned in id order (deterministic).
+    pub fn deliver_software(&mut self, frame: &Frame) -> Delivery {
         let mut instrs = 0;
         let mut ids: Vec<u32> = self.channels.keys().copied().collect();
         ids.sort_unstable();
@@ -270,7 +278,7 @@ impl NetIoModule {
 
     /// Hardware demultiplexing (AN1 path): the NIC already classified the
     /// frame to `ring` via its BQI table; place it directly.
-    pub fn deliver_hardware(&mut self, ring: RingId, frame: &[u8]) -> Delivery {
+    pub fn deliver_hardware(&mut self, ring: RingId, frame: &Frame) -> Delivery {
         match self.ring_index.get(&ring).copied() {
             Some(id) => self.place(id, frame, 0),
             None => {
@@ -280,25 +288,17 @@ impl NetIoModule {
         }
     }
 
-    fn place(&mut self, id: ChannelId, frame: &[u8], filter_instrs: usize) -> Delivery {
+    fn place(&mut self, id: ChannelId, frame: &Frame, filter_instrs: usize) -> Delivery {
         let ch = self
             .channels
             .get_mut(&id.0)
             .expect("placed to live channel");
-        let Some(slot) = ch.region.alloc() else {
-            return Delivery::Dropped;
-        };
-        if !ch.region.write(slot, frame) {
-            ch.region.release(slot);
+        // Same backpressure as the shared-region model: an oversize packet
+        // doesn't fit a slot, a full ring means the region is exhausted.
+        if frame.len() > ch.slot_size || ch.rx_ring.len() >= ch.capacity {
             return Delivery::Dropped;
         }
-        if !ch.rx_ring.push(Descriptor {
-            slot,
-            len: frame.len(),
-        }) {
-            ch.region.release(slot);
-            return Delivery::Dropped;
-        }
+        ch.rx_ring.push_back(frame.clone());
         ch.rx_delivered += 1;
         let signal = !ch.notify_pending;
         if signal {
@@ -308,7 +308,6 @@ impl NetIoModule {
         }
         Delivery::Channel {
             id,
-            slot,
             signal,
             filter_instrs,
         }
@@ -316,7 +315,7 @@ impl NetIoModule {
 
     /// The library side: consume every queued packet for `cap` and clear
     /// the notification flag (single-shot read).
-    pub fn consume(&mut self, cap: Capability) -> Result<Vec<Vec<u8>>, TxError> {
+    pub fn consume(&mut self, cap: Capability) -> Result<Vec<Frame>, TxError> {
         let out = self.consume_batch(cap)?;
         let _ = self.end_wakeup(cap)?;
         Ok(out)
@@ -328,7 +327,7 @@ impl NetIoModule {
     /// batching the paper relies on ("batch multiple network packets per
     /// semaphore notification in order to amortize the cost of
     /// signaling"). Pair with [`NetIoModule::end_wakeup`].
-    pub fn consume_batch(&mut self, cap: Capability) -> Result<Vec<Vec<u8>>, TxError> {
+    pub fn consume_batch(&mut self, cap: Capability) -> Result<Vec<Frame>, TxError> {
         let entry = self.caps.get(&cap.0).ok_or(TxError::BadCapability)?;
         if entry.right != Right::Receive {
             return Err(TxError::NoSendRight);
@@ -337,12 +336,7 @@ impl NetIoModule {
             .channels
             .get_mut(&entry.channel.0)
             .ok_or(TxError::BadCapability)?;
-        let mut out = Vec::new();
-        while let Some(d) = ch.rx_ring.pop() {
-            out.push(ch.region.read(d.slot).to_vec());
-            ch.region.release(d.slot);
-        }
-        Ok(out)
+        Ok(ch.rx_ring.drain(..).collect())
     }
 
     /// Ends a wakeup: if the ring is empty the notification flag clears
@@ -437,7 +431,7 @@ mod tests {
         }
     }
 
-    fn tcp_frame(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, sport: u16, dport: u16) -> Vec<u8> {
+    fn tcp_frame(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, sport: u16, dport: u16) -> Frame {
         let t = TcpRepr {
             src_port: sport,
             dst_port: dport,
@@ -449,20 +443,22 @@ mod tests {
         };
         let seg = t.build_segment(src_ip, dst_ip, b"d");
         let ip = Ipv4Repr::simple(src_ip, dst_ip, IpProtocol::Tcp, seg.len());
-        EthernetRepr {
-            dst: MacAddr::from_host_index(if dst_ip == US {
-                OUR_MAC_IDX
-            } else {
-                THEIR_MAC_IDX
-            }),
-            src: MacAddr::from_host_index(if src_ip == US {
-                OUR_MAC_IDX
-            } else {
-                THEIR_MAC_IDX
-            }),
-            ethertype: EtherType::Ipv4,
-        }
-        .build_frame(&ip.build_packet(&seg))
+        Frame::from_vec(
+            EthernetRepr {
+                dst: MacAddr::from_host_index(if dst_ip == US {
+                    OUR_MAC_IDX
+                } else {
+                    THEIR_MAC_IDX
+                }),
+                src: MacAddr::from_host_index(if src_ip == US {
+                    OUR_MAC_IDX
+                } else {
+                    THEIR_MAC_IDX
+                }),
+                ethertype: EtherType::Ipv4,
+            }
+            .build_frame(&ip.build_packet(&seg)),
+        )
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use unp_buffers::BqiTable;
+use unp_buffers::{BqiTable, Frame};
 use unp_sim::{LinkParams, Nanos};
 use unp_wire::MacAddr;
 
@@ -112,8 +112,9 @@ impl Link {
 /// programmed-I/O copy.
 #[derive(Debug, Clone)]
 pub struct StagedFrame {
-    /// Raw frame bytes (link header included).
-    pub bytes: Vec<u8>,
+    /// Frame handle (link header included); a refcount on the wire frame,
+    /// not a copy.
+    pub bytes: Frame,
     /// When the frame finished arriving.
     pub arrived: Nanos,
 }
@@ -149,7 +150,7 @@ impl LanceNic {
 
     /// A frame arrives from the wire into on-board staging. Returns true
     /// if accepted (an interrupt should be raised), false if dropped.
-    pub fn frame_arrived(&mut self, bytes: Vec<u8>, now: Nanos) -> bool {
+    pub fn frame_arrived(&mut self, bytes: Frame, now: Nanos) -> bool {
         if self.rx_staging.len() >= self.rx_capacity {
             self.rx_drops += 1;
             return false;
@@ -284,9 +285,9 @@ mod tests {
     fn lance_staging_fifo_and_overflow() {
         let mut nic = LanceNic::new(MacAddr::from_host_index(1));
         for i in 0..LanceNic::DEFAULT_RX_BUFFERS {
-            assert!(nic.frame_arrived(vec![i as u8], i as Nanos));
+            assert!(nic.frame_arrived(Frame::from_vec(vec![i as u8]), i as Nanos));
         }
-        assert!(!nic.frame_arrived(vec![99], 99));
+        assert!(!nic.frame_arrived(Frame::from_vec(vec![99]), 99));
         assert_eq!(nic.rx_drops, 1);
         let first = nic.host_take_frame().unwrap();
         assert_eq!(first.bytes, vec![0]);

@@ -122,6 +122,15 @@ impl IpEndpoint {
         }
     }
 
+    /// Allocates the next datagram identification value — the same
+    /// sequence [`IpEndpoint::send`] consumes, for callers that emit the
+    /// header directly into a frame's headroom (zero-copy encapsulation).
+    pub fn alloc_ident(&mut self) -> u16 {
+        let ident = self.next_ident;
+        self.next_ident = self.next_ident.wrapping_add(1).max(1);
+        ident
+    }
+
     /// Builds the IP datagram(s) carrying `payload`, fragmenting to `mtu`.
     /// Returns full packets (header + data) ready for link encapsulation.
     pub fn send(
@@ -131,8 +140,7 @@ impl IpEndpoint {
         payload: &[u8],
         mtu: usize,
     ) -> Vec<Vec<u8>> {
-        let ident = self.next_ident;
-        self.next_ident = self.next_ident.wrapping_add(1).max(1);
+        let ident = self.alloc_ident();
         let max_frag_payload = (mtu - IPV4_HEADER_LEN) & !7; // 8-byte aligned
         if payload.len() + IPV4_HEADER_LEN <= mtu {
             let repr = Ipv4Repr {
@@ -156,6 +164,30 @@ impl IpEndpoint {
             off += take;
         }
         out
+    }
+
+    /// Zero-copy classification of one received IP packet: when `bytes`
+    /// holds a complete, unfragmented datagram addressed to us, returns
+    /// `(src, protocol, payload range within bytes)` without copying —
+    /// exactly the `Complete` arm [`IpEndpoint::receive`] would produce
+    /// for the same input. Fragments, strays, and malformed packets
+    /// return `None`; callers fall back to [`IpEndpoint::receive`].
+    /// Expires stale reassemblies, as `receive` would.
+    pub fn receive_in_place(
+        &mut self,
+        bytes: &[u8],
+        now: Nanos,
+    ) -> Option<(Ipv4Addr, IpProtocol, std::ops::Range<usize>)> {
+        self.expire(now);
+        let pkt = Ipv4Packet::new_checked(bytes).ok()?;
+        let dst = pkt.dst();
+        if dst != self.addr && !dst.is_broadcast() {
+            return None;
+        }
+        if pkt.more_frags() || pkt.frag_offset() != 0 {
+            return None;
+        }
+        Some((pkt.src(), pkt.protocol(), IPV4_HEADER_LEN..pkt.total_len()))
     }
 
     /// Processes one received IP packet (raw bytes including the header).
@@ -372,6 +404,25 @@ mod tests {
             assert_eq!(pkt.frag_offset() % 8, 0);
             assert!(p.len() <= 576);
         }
+    }
+
+    #[test]
+    fn in_place_classification_matches_receive() {
+        let mut tx = ep();
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let pkts = tx.send(IpProtocol::Tcp, dst, b"abcdef", 1500);
+        let mut rx = IpEndpoint::new(dst, 24, None);
+        let (src, proto, range) = rx.receive_in_place(&pkts[0], 0).expect("complete");
+        assert_eq!((src, proto), (Ipv4Addr::new(10, 0, 0, 1), IpProtocol::Tcp));
+        let IpRecv::Complete { payload, .. } = rx.receive(&pkts[0], 0) else {
+            panic!("receive disagrees with in-place classification");
+        };
+        assert_eq!(&pkts[0][range], &payload[..]);
+        // Fragments and strays decline the fast path.
+        let frags = tx.send(IpProtocol::Tcp, dst, &vec![0u8; 3000], 1500);
+        assert!(rx.receive_in_place(&frags[0], 0).is_none());
+        let other = tx.send(IpProtocol::Tcp, Ipv4Addr::new(10, 0, 0, 9), b"x", 1500);
+        assert!(rx.receive_in_place(&other[0], 0).is_none());
     }
 
     #[test]

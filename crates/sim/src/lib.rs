@@ -34,6 +34,23 @@ pub const MILLIS: Nanos = 1_000_000;
 /// One second in [`Nanos`].
 pub const SECONDS: Nanos = 1_000_000_000;
 
+thread_local! {
+    static EVENTS_EXECUTED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Events executed by every engine on this thread since the last
+/// [`reset_events_executed`]. The per-engine [`Engine::executed`] counter
+/// dies with its engine; experiment runners build engines internally, so
+/// `repro-tables --timings` reads this aggregate instead.
+pub fn events_executed() -> u64 {
+    EVENTS_EXECUTED.with(|c| c.get())
+}
+
+/// Resets the thread-wide executed-event counter.
+pub fn reset_events_executed() {
+    EVENTS_EXECUTED.with(|c| c.set(0));
+}
+
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
@@ -50,6 +67,8 @@ pub struct Engine<W> {
     heap: BinaryHeap<Reverse<(Nanos, u64)>>,
     pending: HashMap<u64, EventFn<W>>,
     executed: u64,
+    /// Heap entries whose event has been cancelled but not yet popped.
+    tombstones: usize,
 }
 
 impl<W> Default for Engine<W> {
@@ -67,6 +86,7 @@ impl<W> Engine<W> {
             heap: BinaryHeap::new(),
             pending: HashMap::new(),
             executed: 0,
+            tombstones: 0,
         }
     }
 
@@ -83,6 +103,13 @@ impl<W> Engine<W> {
     /// Number of events currently scheduled.
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Number of entries in the internal time heap, live and tombstoned.
+    /// Exposed so tests can assert the heap stays bounded under mass
+    /// cancellation.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Schedules `f` to run at absolute time `time` (clamped to `now`).
@@ -107,8 +134,32 @@ impl<W> Engine<W> {
     }
 
     /// Cancels a scheduled event. Returns true if it had not yet run.
+    ///
+    /// Cancellation is a tombstone: the closure is dropped immediately but
+    /// the `(time, id)` entry stays in the heap until popped. When
+    /// tombstones outnumber live events the heap is compacted in place, so
+    /// a workload that schedules and cancels many timers (e.g. TCP
+    /// retransmission timers answered by ACKs) keeps the heap at O(live)
+    /// rather than O(ever scheduled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0).is_some()
+        let cancelled = self.pending.remove(&id.0).is_some();
+        if cancelled {
+            self.tombstones += 1;
+            self.maybe_compact();
+        }
+        cancelled
+    }
+
+    /// Rebuilds the heap without tombstoned entries once they dominate.
+    /// The `> 64` floor keeps small heaps from compacting on every other
+    /// cancel, where the O(n) rebuild would cost more than the garbage.
+    fn maybe_compact(&mut self) {
+        if self.tombstones > 64 && self.tombstones > self.pending.len() {
+            let pending = &self.pending;
+            self.heap
+                .retain(|Reverse((_, id))| pending.contains_key(id));
+            self.tombstones = 0;
+        }
     }
 
     /// Runs the next event, if any. Returns false when the queue is empty.
@@ -117,10 +168,12 @@ impl<W> Engine<W> {
             if let Some(f) = self.pending.remove(&id) {
                 self.now = time;
                 self.executed += 1;
+                EVENTS_EXECUTED.with(|c| c.set(c.get() + 1));
                 f(world, self);
                 return true;
             }
             // Cancelled entry: skip.
+            self.tombstones = self.tombstones.saturating_sub(1);
         }
         false
     }
@@ -148,6 +201,7 @@ impl<W> Engine<W> {
                             break Some(*t);
                         }
                         self.heap.pop();
+                        self.tombstones = self.tombstones.saturating_sub(1);
                     }
                     None => break None,
                 }
@@ -263,6 +317,60 @@ mod tests {
         eng.cancel(id);
         eng.run_until(&mut w, 100);
         assert_eq!(w.log, vec![(20, "yes")]);
+    }
+
+    #[test]
+    fn mass_cancellation_keeps_heap_bounded() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        // A retransmission-timer-like workload: schedule a timer, then
+        // cancel it before it fires, thousands of times, with a handful of
+        // long-lived events outstanding the whole time.
+        for i in 0..8 {
+            eng.at(1_000_000 + i, |w, e| w.log.push((e.now(), "keeper")));
+        }
+        for round in 0..10_000u64 {
+            let id = eng.at(500_000 + round, |w, _| w.log.push((0, "never")));
+            assert!(eng.cancel(id));
+            // Without compaction the heap would hold every tombstone ever
+            // scheduled (~round entries). With it, the heap stays at
+            // O(live + compaction floor).
+            assert!(
+                eng.heap_len() <= eng.pending() + 130,
+                "heap grew unbounded: {} entries with {} live at round {round}",
+                eng.heap_len(),
+                eng.pending()
+            );
+        }
+        assert_eq!(eng.pending(), 8);
+        // The survivors still fire, in order.
+        assert!(eng.run(&mut w, 100));
+        assert_eq!(w.log.len(), 8);
+        assert!(w.log.iter().all(|(_, tag)| *tag == "keeper"));
+    }
+
+    #[test]
+    fn compaction_preserves_cancel_then_run_semantics() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        // Interleave live and cancelled events across the compaction
+        // threshold and check exactly the live ones run, in time order.
+        let mut expect = Vec::new();
+        for i in 0..500u64 {
+            let t = 10 + i;
+            let id = eng.at(t, move |w, e| w.log.push((e.now(), "live")));
+            if i % 3 != 0 {
+                eng.cancel(id);
+            } else {
+                expect.push(t);
+            }
+        }
+        assert!(eng.run(&mut w, 1_000));
+        assert_eq!(
+            w.log.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            expect,
+            "live events must be unaffected by compaction"
+        );
     }
 
     #[test]

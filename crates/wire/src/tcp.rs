@@ -252,6 +252,39 @@ impl TcpRepr {
         self.emit(&mut v, src, dst, payload).expect("sized above");
         v
     }
+
+    /// Emits the header into `seg[..header_len]` for a payload that is
+    /// **already in place** at `seg[header_len..]`, then fills in the
+    /// checksum over the whole segment. The zero-copy counterpart of
+    /// [`TcpRepr::emit`]: the caller prepends `header_len()` bytes of
+    /// headroom in front of the payload and hands over the joined window,
+    /// so the payload is never copied. `seg[..header_len]` must be zeroed
+    /// (freshly prepended headroom is).
+    pub fn emit_into(&self, seg: &mut [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<()> {
+        let hlen = self.header_len();
+        if seg.len() < hlen {
+            return Err(WireError::Truncated);
+        }
+        put_u16(seg, 0, self.src_port);
+        put_u16(seg, 2, self.dst_port);
+        put_u32(seg, 4, self.seq.0);
+        put_u32(seg, 8, self.ack_num.0);
+        seg[12] = ((hlen / 4) as u8) << 4;
+        seg[13] = self.flags.to_u8();
+        put_u16(seg, 14, self.window);
+        put_u16(seg, 16, 0); // checksum placeholder
+        put_u16(seg, 18, 0); // urgent pointer
+        if let Some(mss) = self.mss {
+            seg[20] = 2;
+            seg[21] = 4;
+            put_u16(seg, 22, mss);
+        }
+        let acc =
+            pseudo_header_sum(src, dst, IpProtocol::Tcp, seg.len() as u16) + sum_be_words(seg);
+        let ck = !fold(acc);
+        put_u16(seg, 16, ck);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +293,25 @@ mod tests {
 
     const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn emit_into_matches_build_segment() {
+        let payload = b"in-place payload bytes";
+        for repr in [
+            sample(),
+            TcpRepr {
+                mss: Some(1460),
+                ..sample()
+            },
+        ] {
+            let hlen = repr.header_len();
+            // The zero-copy path: payload already sits after zeroed headroom.
+            let mut seg = vec![0u8; hlen + payload.len()];
+            seg[hlen..].copy_from_slice(payload);
+            repr.emit_into(&mut seg, SRC, DST).unwrap();
+            assert_eq!(seg, repr.build_segment(SRC, DST, payload));
+        }
+    }
 
     fn sample() -> TcpRepr {
         TcpRepr {

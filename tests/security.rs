@@ -4,7 +4,7 @@
 //! impersonate others" — exercised through the kernel interfaces an
 //! adversarial library would have to get past.
 
-use unp::buffers::{BqiTable, OwnerTag, RingId};
+use unp::buffers::{BqiTable, Frame, OwnerTag, RingId};
 use unp::filter::programs::DemuxSpec;
 use unp::kernel::{Delivery, HeaderTemplate, NetIoModule, PortSpace, TxError};
 use unp::wire::{
@@ -15,13 +15,7 @@ const VICTIM_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 const ATTACKER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 66);
 const PEER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 
-fn tcp_frame(
-    src_ip: Ipv4Addr,
-    dst_ip: Ipv4Addr,
-    sport: u16,
-    dport: u16,
-    payload: &[u8],
-) -> Vec<u8> {
+fn tcp_frame(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, sport: u16, dport: u16, payload: &[u8]) -> Frame {
     let t = TcpRepr {
         src_port: sport,
         dst_port: dport,
@@ -33,12 +27,14 @@ fn tcp_frame(
     };
     let seg = t.build_segment(src_ip, dst_ip, payload);
     let ip = Ipv4Repr::simple(src_ip, dst_ip, IpProtocol::Tcp, seg.len());
-    EthernetRepr {
-        dst: MacAddr::from_host_index(2),
-        src: MacAddr::from_host_index(1),
-        ethertype: EtherType::Ipv4,
-    }
-    .build_frame(&ip.build_packet(&seg))
+    Frame::from_vec(
+        EthernetRepr {
+            dst: MacAddr::from_host_index(2),
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Ipv4,
+        }
+        .build_frame(&ip.build_packet(&seg)),
+    )
 }
 
 fn victim_channel(m: &mut NetIoModule) -> (unp::kernel::ChannelId, unp::kernel::Capability) {

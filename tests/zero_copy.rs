@@ -1,0 +1,171 @@
+//! Zero-copy frame-path equivalence tests.
+//!
+//! The pooled, refcounted frame path is an *optimization*: it must not
+//! change a single byte of what goes on the wire. These tests pin that
+//! down three ways — pooled vs. pool-disabled runs of the capture
+//! workload, the committed golden pcap, and copy-on-write divergence
+//! properties of the `Frame` handle itself.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use unp::buffers::{frame_stats, Frame, FramePool};
+use unp::core::app::{BulkSender, SinkApp, TransferStats};
+use unp::core::pcap::{to_pcap_bytes, LinkType};
+use unp::core::world::{build_two_hosts, connect, listen, Network, OrgKind};
+use unp::filter::programs::{bpf_demux, DemuxSpec};
+use unp::tcp::TcpConfig;
+use unp::wire::{IpProtocol, Ipv4Addr};
+
+/// Runs the `packet_capture` example's workload (Table-2 shape: 50 kB of
+/// 4 kB writes, user-library organization, Ethernet) with a promiscuous
+/// tap on the to-server direction, and returns the captured frames.
+fn capture_run(pooled: bool) -> Vec<(u64, Vec<u8>)> {
+    let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    if !pooled {
+        w.pool = FramePool::disabled(w.pool.buf_size());
+    }
+    let spec = DemuxSpec {
+        link_header_len: 14,
+        protocol: IpProtocol::Tcp,
+        local_ip: Ipv4Addr::new(10, 0, 0, 2),
+        local_port: 80,
+        remote_ip: None,
+        remote_port: None,
+    };
+    let tap = w.add_capture_tap("to-server", bpf_demux(&spec));
+    let stats = TransferStats::new_shared();
+    let st = Rc::clone(&stats);
+    listen(
+        &mut w,
+        1,
+        80,
+        TcpConfig::default(),
+        Box::new(move || Box::new(SinkApp::new(Rc::clone(&st)))),
+    );
+    connect(
+        &mut w,
+        &mut eng,
+        0,
+        (Ipv4Addr::new(10, 0, 0, 2), 80),
+        TcpConfig::default(),
+        Box::new(BulkSender::new(50_000, 4096)),
+        4096,
+    );
+    assert!(eng.run(&mut w, 10_000_000), "capture run did not drain");
+    assert_eq!(stats.borrow().bytes_received, 50_000);
+    w.tap_frames(tap)
+        .iter()
+        .map(|(t, f)| (*t, f.to_vec()))
+        .collect()
+}
+
+#[test]
+fn tap_frames_identical_with_and_without_pooling() {
+    let pooled = capture_run(true);
+    let unpooled = capture_run(false);
+    assert_eq!(pooled.len(), unpooled.len(), "frame counts differ");
+    for (i, (a, b)) in pooled.iter().zip(&unpooled).enumerate() {
+        assert_eq!(a.0, b.0, "frame {i} timestamp differs");
+        assert_eq!(a.1, b.1, "frame {i} bytes differ");
+    }
+    // Recycling must actually have happened in the pooled run for this to
+    // be a meaningful comparison.
+    assert!(pooled.len() > 30, "expected a full conversation");
+}
+
+#[test]
+fn capture_matches_committed_golden_pcap() {
+    // The repo-root `unp-capture.pcap` is the committed golden of this
+    // workload. If a protocol change legitimately alters the wire format,
+    // regenerate it (`cargo run --release --example packet_capture`) and
+    // commit the new file with that change.
+    let frames = capture_run(true);
+    let bytes = to_pcap_bytes(&frames, LinkType::Ethernet);
+    let golden = std::fs::read(concat!(env!("CARGO_MANIFEST_DIR"), "/unp-capture.pcap"))
+        .expect("committed golden pcap");
+    assert_eq!(
+        bytes, golden,
+        "wire output diverged from the committed golden pcap"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutating one handle of a shared frame copies; the other handle
+    /// never observes the write.
+    #[test]
+    fn cow_isolates_shared_handles(
+        data in proptest::collection::vec(0u8..255, 1..256),
+        idx_seed in 0u64..u64::MAX,
+        mask in 1u8..255,
+        use_pool in proptest::bool::ANY,
+    ) {
+        let idx = (idx_seed % data.len() as u64) as usize;
+        let a = if use_pool {
+            FramePool::new(data.len() + 32, 4).alloc(16, &data)
+        } else {
+            Frame::from_vec(data.clone())
+        };
+        let mut b = a.clone();
+        prop_assert!(a.ptr_eq(&b), "clone shares backing");
+        prop_assert_eq!(a.ref_count(), 2);
+
+        let before = frame_stats();
+        b.as_mut_slice()[idx] ^= mask;
+        let after = frame_stats();
+
+        prop_assert!(!a.ptr_eq(&b), "write must have copied");
+        prop_assert_eq!(after.cow_copies, before.cow_copies + 1);
+        prop_assert_eq!(a.as_slice(), &data[..], "original unchanged");
+        let mut expect = data.clone();
+        expect[idx] ^= mask;
+        prop_assert_eq!(b.as_slice(), &expect[..], "writer sees its write");
+    }
+
+    /// Sub-slices share the backing buffer (no copy) and keep their bytes
+    /// when the parent handle is mutated afterwards.
+    #[test]
+    fn slices_are_zero_copy_and_stable_under_parent_writes(
+        data in proptest::collection::vec(0u8..255, 2..256),
+        a_seed in 0u64..u64::MAX,
+        b_seed in 0u64..u64::MAX,
+    ) {
+        let x = (a_seed % data.len() as u64) as usize;
+        let y = (b_seed % data.len() as u64) as usize;
+        let (start, end) = (x.min(y), x.max(y));
+        let pool = FramePool::new(data.len() + 32, 4);
+        let mut parent = pool.alloc(16, &data);
+        let child = parent.slice(start, end);
+        prop_assert!(child.ptr_eq(&parent), "slice must not copy");
+        prop_assert_eq!(child.as_slice(), &data[start..end]);
+
+        // Parent COWs on write; the child keeps the original bytes.
+        for byte in parent.as_mut_slice().iter_mut() {
+            *byte = !*byte;
+        }
+        prop_assert_eq!(child.as_slice(), &data[start..end], "slice stable");
+        prop_assert!(!child.ptr_eq(&parent));
+    }
+
+    /// Prepending a header into one handle of a shared frame leaves the
+    /// other handle's window untouched (the ARP-park / tap-clone shape).
+    #[test]
+    fn prepend_on_shared_frame_is_isolated(
+        data in proptest::collection::vec(0u8..255, 1..256),
+        hdr_len in 1usize..16,
+    ) {
+        let pool = FramePool::new(data.len() + 32, 4);
+        let parked = pool.alloc(16, &data);
+        let mut sender = parked.clone();
+        let hdr = sender.prepend(hdr_len);
+        for (i, byte) in hdr.iter_mut().enumerate() {
+            *byte = 0x80 | i as u8;
+        }
+        prop_assert_eq!(parked.as_slice(), &data[..], "parked copy untouched");
+        prop_assert_eq!(sender.len(), data.len() + hdr_len);
+        prop_assert_eq!(&sender.as_slice()[hdr_len..], &data[..]);
+    }
+}
