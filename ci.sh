@@ -19,4 +19,19 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
 
+# The two invariants the fast paths stand on, run explicitly (and in
+# release, matching how the artifacts are produced): the zero-copy frame
+# path must keep the golden pcap byte-identical, and the flow-table demux
+# must be indistinguishable from the linear filter scan.
+echo "== tier-1: zero-copy golden pcap + demux differential (release) =="
+cargo test -q --release --offline --test zero_copy --test demux_differential
+
+# The reproduced tables are the project's ground truth: any diff against
+# the committed golden output — including from a demux or buffering
+# "optimization" — is a regression, not an update, unless reviewed.
+echo "== repro-tables output vs. golden tables_output.txt =="
+cargo run -q -p unp-bench --release --offline --bin repro-tables > /tmp/unp_tables_output.txt
+diff -u tables_output.txt /tmp/unp_tables_output.txt \
+  || { echo "repro-tables output diverged from golden tables_output.txt"; exit 1; }
+
 echo "CI gate passed."

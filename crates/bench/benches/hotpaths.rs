@@ -97,6 +97,25 @@ fn bench_demux(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_demux_scaling(c: &mut Criterion) {
+    // The flow-table tentpole's headline: classifying a frame among N
+    // active connection bindings. The two-tier `classify` (exact-match
+    // flow table + wildcard scan) should be flat in N; the 1993-style
+    // pure linear scan grows with it. The frame targets the
+    // last-installed binding — the scan's worst case.
+    let mut g = c.benchmark_group("demux_scaling");
+    for n in unp_bench::demux::SCALING_COUNTS {
+        let (m, frame) = unp_bench::demux::populated_module(n);
+        g.bench_function(format!("flow_table_{n}"), |b| {
+            b.iter(|| m.classify(black_box(&frame)))
+        });
+        g.bench_function(format!("linear_scan_{n}"), |b| {
+            b.iter(|| m.classify_scan_reference(black_box(&frame)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_timers(c: &mut Criterion) {
     let mut g = c.benchmark_group("timers");
     for n in [32u64, 1024] {
@@ -257,6 +276,7 @@ criterion_group!(
     benches,
     bench_checksum,
     bench_demux,
+    bench_demux_scaling,
     bench_timers,
     bench_tcp_wire,
     bench_frame_path,

@@ -7,10 +7,11 @@
 //! cargo run -p unp-bench --release --bin repro-tables -- quick   # smaller workloads
 //! cargo run -p unp-bench --release --bin repro-tables -- --timings
 //! #   also time each table (host wall-clock, events, frame allocations),
-//! #   run the frame-pool ablation, and write BENCH_zero_copy.json
+//! #   run the frame-pool ablation and the demux fast-path report, and
+//! #   write BENCH_zero_copy.json + BENCH_demux.json
 //! ```
 
-use unp_bench::{tables, timings};
+use unp_bench::{demux, tables, timings};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +57,13 @@ fn main() {
         timings::print_report(&timed, &cmp);
         let json = timings::to_json(&timed, &cmp);
         let path = "BENCH_zero_copy.json";
+        std::fs::write(path, &json).expect("write benchmark json");
+        println!("wrote {path}");
+
+        let d = demux::demux_section(total);
+        demux::print_report(&d);
+        let json = demux::to_json(&d);
+        let path = "BENCH_demux.json";
         std::fs::write(path, &json).expect("write benchmark json");
         println!("wrote {path}");
     }

@@ -7,5 +7,6 @@
 //!   the real hot-path code (checksum, filter VMs, timing wheel, TCP
 //!   segment processing) on the host machine.
 
+pub mod demux;
 pub mod tables;
 pub mod timings;

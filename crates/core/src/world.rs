@@ -11,13 +11,12 @@
 use std::collections::HashMap;
 
 use unp_buffers::{Frame, FramePool, OwnerTag};
-use unp_filter::programs::DemuxSpec;
 use unp_kernel::{Capability, ChannelId, Delivery, HeaderTemplate, NetIoModule};
 use unp_netdev::{An1Nic, LanceNic, Link, StationId};
 use unp_proto::arp::ArpResult;
 use unp_proto::{icmp_input, ArpCache, IpEndpoint, IpRecv, UdpLayer};
 use unp_registry::{HsId, RegistryAction, RegistryServer};
-use unp_sim::{CostModel, Cpu, Engine, EventId, LinkParams, Nanos, Trace};
+use unp_sim::{CostModel, Cpu, DemuxPath, Engine, EventId, LinkParams, Nanos, Trace};
 use unp_tcp::{ListenTcb, Tcb, TcpAction, TcpConfig, TcpTimer};
 use unp_timers::{TimerId, TimerService, TimerWheel};
 use unp_wire::{
@@ -1172,6 +1171,18 @@ fn userlib_ip_input(
         None => w.hosts[h].netio.deliver_software(&frame),
     };
     let c = &w.costs;
+    // The modeled demux cost. Software deliveries charge the filter-scan
+    // model whether the host mechanism was the flow table or the scan
+    // (`filter_instrs` is scan-equivalent by construction): the compared
+    // 1993 systems interpret a filter per packet, and the tables must not
+    // move when the reproduction's own hot path gets faster. See
+    // `CostModel::flow_demux` for the modeled fast-path constant ablations
+    // use.
+    let model_path = if hw_ring.is_some() {
+        DemuxPath::Hardware
+    } else {
+        DemuxPath::FilterScan
+    };
     match delivery {
         Delivery::Channel {
             id,
@@ -1179,11 +1190,7 @@ fn userlib_ip_input(
             filter_instrs,
             ..
         } => {
-            let demux_cost = if hw_ring.is_some() {
-                c.bqi_demux
-            } else {
-                c.filter_dispatch + c.filter_per_instr * filter_instrs as Nanos
-            };
+            let demux_cost = c.demux_cost(model_path, filter_instrs);
             w.trace.bump("ch_deliveries");
             let signal = signal || w.ablate_batching;
             if signal {
@@ -1205,12 +1212,8 @@ fn userlib_ip_input(
                     .charge_priority(eng.now(), demux_cost + c.ring_op);
             }
         }
-        Delivery::KernelDefault { filter_instrs } => {
-            let demux_cost = if hw_ring.is_some() {
-                c.bqi_demux
-            } else {
-                c.filter_dispatch + c.filter_per_instr * filter_instrs as Nanos
-            };
+        Delivery::KernelDefault { filter_instrs, .. } => {
+            let demux_cost = c.demux_cost(model_path, filter_instrs);
             host_exec(w, eng, h, demux_cost, move |w, eng| {
                 registry_tcp_input(w, eng, h, frame);
             });
@@ -1532,14 +1535,10 @@ fn ensure_hs_setup(w: &mut World, h: usize, hs: HsId, repr: &TcpRepr, remote: Ip
     let local_port = repr.src_port;
     let remote_port = repr.dst_port;
     let lhl = w.hosts[h].link_header_len();
-    let spec = DemuxSpec {
-        link_header_len: lhl,
-        protocol: IpProtocol::Tcp,
-        local_ip,
-        local_port,
-        remote_ip: Some(remote),
-        remote_port: Some(remote_port),
-    };
+    // Fully specified by construction, so the binding distills into the
+    // kernel's exact-match flow table (see `connection_demux_spec`).
+    let spec =
+        unp_registry::connection_demux_spec(lhl, (local_ip, local_port), (remote, remote_port));
     let template = HeaderTemplate {
         link_header_len: lhl,
         src_mac: Some(w.hosts[h].mac),

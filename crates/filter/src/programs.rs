@@ -6,7 +6,7 @@
 //! builders synthesize equivalent programs for each of the three demux
 //! technologies from a single [`DemuxSpec`].
 
-use unp_wire::{IpProtocol, Ipv4Addr};
+use unp_wire::{FlowKey, IpProtocol, Ipv4Addr};
 
 use crate::bpf::{BpfInstr, BpfProgram};
 use crate::cspf::{CspfInstr, CspfProgram};
@@ -28,6 +28,27 @@ pub struct DemuxSpec {
     pub remote_ip: Option<Ipv4Addr>,
     /// Remote port for connected endpoints, `None` to wildcard.
     pub remote_port: Option<u16>,
+}
+
+impl DemuxSpec {
+    /// Distills the spec into an exact-match [`FlowKey`], or `None` when
+    /// the spec wildcards the remote side (listening sockets) and so cannot
+    /// be decided by a keyed lookup.
+    ///
+    /// A fully-specified spec accepts a frame **iff**
+    /// `FlowKey::extract(frame, spec.link_header_len)` yields exactly this
+    /// key — both sides check the same EtherType/version/IHL/first-fragment
+    /// conditions — which is what lets a flow table stand in for running
+    /// the filter (the fast-path invariant `unp-kernel` relies on).
+    pub fn distill(&self) -> Option<FlowKey> {
+        Some(FlowKey {
+            protocol: self.protocol.to_u8(),
+            local_ip: self.local_ip,
+            local_port: self.local_port,
+            remote_ip: self.remote_ip?,
+            remote_port: self.remote_port?,
+        })
+    }
 }
 
 /// Builds a BPF program implementing `spec`.
@@ -208,6 +229,75 @@ mod tests {
             remote_port: None,
         };
         cspf_demux(&spec);
+    }
+
+    #[test]
+    fn distill_requires_fully_specified_remote() {
+        let spec = |rip, rport| DemuxSpec {
+            link_header_len: 14,
+            protocol: IpProtocol::Tcp,
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            local_port: 80,
+            remote_ip: rip,
+            remote_port: rport,
+        };
+        let full = spec(Some(Ipv4Addr::new(10, 0, 0, 2)), Some(1234));
+        let key = full.distill().expect("fully specified");
+        assert_eq!(key.protocol, IpProtocol::Tcp.to_u8());
+        assert_eq!((key.local_port, key.remote_port), (80, 1234));
+        assert!(spec(None, Some(1234)).distill().is_none());
+        assert!(spec(Some(Ipv4Addr::new(10, 0, 0, 2)), None)
+            .distill()
+            .is_none());
+        assert!(spec(None, None).distill().is_none());
+    }
+
+    #[test]
+    fn distilled_key_matches_iff_filter_matches() {
+        // The fast-path invariant: for a fully-specified spec, the compiled
+        // filter accepts a frame exactly when the frame's extracted key
+        // equals the distilled key.
+        use crate::CompiledDemux;
+        use unp_wire::{EtherType, EthernetRepr, FlowKey, Ipv4Repr, MacAddr, UdpRepr};
+        let us = Ipv4Addr::new(10, 0, 0, 2);
+        let them = Ipv4Addr::new(10, 0, 0, 1);
+        let spec = DemuxSpec {
+            link_header_len: 14,
+            protocol: IpProtocol::Udp,
+            local_ip: us,
+            local_port: 53,
+            remote_ip: Some(them),
+            remote_port: Some(4000),
+        };
+        let key = spec.distill().unwrap();
+        let filt = CompiledDemux::from_spec(&spec);
+        let frame = |src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16| {
+            let dgram = UdpRepr {
+                src_port: sp,
+                dst_port: dp,
+            }
+            .build_datagram(src, dst, b"x");
+            let ip = Ipv4Repr::simple(src, dst, IpProtocol::Udp, dgram.len());
+            EthernetRepr {
+                dst: MacAddr::from_host_index(2),
+                src: MacAddr::from_host_index(1),
+                ethertype: EtherType::Ipv4,
+            }
+            .build_frame(&ip.build_packet(&dgram))
+        };
+        for f in [
+            frame(them, us, 4000, 53),
+            frame(them, us, 4000, 54),
+            frame(them, us, 4001, 53),
+            frame(us, them, 4000, 53),
+            frame(Ipv4Addr::new(10, 0, 0, 3), us, 4000, 53),
+        ] {
+            assert_eq!(
+                filt.matches(&f),
+                FlowKey::extract(&f, spec.link_header_len) == Some(key),
+                "filter and key lookup must agree"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,8 @@ use std::collections::{HashMap, VecDeque};
 use unp_buffers::{Frame, OwnerTag, RingId};
 use unp_filter::programs::DemuxSpec;
 use unp_filter::{CompiledDemux, Demux};
+pub use unp_sim::DemuxPath;
+use unp_wire::FlowKey;
 
 /// Identifier of a delivery channel (one per connection endpoint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,15 +88,22 @@ pub enum Delivery {
         id: ChannelId,
         /// Whether to post the wakeup semaphore.
         signal: bool,
-        /// Total filter instructions interpreted while demultiplexing
-        /// (zero on the hardware path) — input for the cost model.
+        /// Filter instructions the 1993 model charges for this decision:
+        /// what a linear scan over the active bindings interprets before
+        /// accepting (zero on the hardware path). Reported identically
+        /// whether the host mechanism was the flow table or the scan, so
+        /// the reproduced tables are invariant to the fast path.
         filter_instrs: usize,
+        /// Which demultiplexing machinery decided the delivery.
+        path: DemuxPath,
     },
     /// No binding matched: delivered to protected kernel memory (BQI 0 /
     /// kernel default queue) for the in-kernel protocols or the registry.
     KernelDefault {
         /// Filter instructions interpreted before falling through.
         filter_instrs: usize,
+        /// Which demultiplexing machinery decided the miss.
+        path: DemuxPath,
     },
     /// Dropped: the target ring or region was full.
     Dropped,
@@ -115,6 +124,11 @@ struct Channel {
     rx_ring: VecDeque<Frame>,
     template: HeaderTemplate,
     demux: CompiledDemux,
+    /// The spec's exact-match identity, when it has one (fully-specified
+    /// connection bindings whose link-header length matches the module's).
+    /// `None` channels — wildcards, fragments-only oddities, mismatched
+    /// link framing — are decided by the filter scan.
+    flow: Option<FlowKey>,
     /// Software demux only fires once the registry activates the binding
     /// at connection-establishment completion; until then, traffic for the
     /// endpoint still flows to the kernel default path (the registry).
@@ -127,11 +141,80 @@ struct Channel {
     rx_batched: u64,
 }
 
+/// Software-demultiplexing counters, reported by
+/// [`NetIoModule::demux_stats`] for the `repro-tables` demux section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DemuxStats {
+    /// Frames whose delivery was decided by the flow table.
+    pub flow_hits: u64,
+    /// Frames decided by the filter scan (wildcard bindings, fragments,
+    /// non-IP frames, and kernel-default misses).
+    pub scan_fallbacks: u64,
+    /// Total frames through [`NetIoModule::deliver_software`].
+    pub packets: u64,
+    /// Total modeled filter instructions across those frames (what the
+    /// 1993 scan interprets — the cost-model input).
+    pub filter_instrs: u64,
+}
+
+impl DemuxStats {
+    /// Modeled filter instructions per packet.
+    pub fn avg_filter_instrs(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.filter_instrs as f64 / self.packets as f64
+    }
+
+    /// Fraction of software-demuxed frames the flow table decided.
+    pub fn flow_hit_rate(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.flow_hits as f64 / self.packets as f64
+    }
+}
+
 /// The network I/O module for one device. See module docs.
+///
+/// Software demultiplexing is two-tiered. At channel installation each
+/// [`DemuxSpec`] is *distilled*: fully-specified connection bindings (the
+/// common case the registry installs at connection setup) become entries in
+/// an exact-match flow table keyed by the frame's 5-tuple, so delivery is
+/// one [`FlowKey::extract`] parse plus one hash lookup — O(1) in the number
+/// of connections. Wildcard bindings (and frames with no exact-match
+/// identity: fragments, non-IP) fall back to the paper-era filter scan over
+/// a cached, insertion-maintained id ordering. Correctness invariant: the
+/// two tiers always agree with a pure linear scan — a flow-table hit is
+/// only taken after any lower-id wildcard binding has had its filter run
+/// (scan order is id order, first match wins), and a distilled binding can
+/// never match a frame whose key differs from its own
+/// (`DemuxSpec::distill`'s iff guarantee).
 pub struct NetIoModule {
     channels: HashMap<u32, Channel>,
     caps: HashMap<u64, CapEntry>,
     ring_index: HashMap<RingId, ChannelId>,
+    /// Exact-match tier: 5-tuple → ids of channels distilled to that key,
+    /// ascending (duplicates possible; the scan-equivalent winner is the
+    /// lowest *active* id).
+    flow_table: HashMap<FlowKey, Vec<u32>>,
+    /// Link-header length the flow table extracts keys with, fixed by the
+    /// first distillable channel (one module serves one device, so all its
+    /// channels share framing; a mismatched spec stays on the scan tier).
+    flow_lhl: Option<usize>,
+    /// All channel ids, ascending — the scan order, maintained on
+    /// install/teardown instead of collected and sorted per packet.
+    scan_order: Vec<u32>,
+    /// Active channel ids, ascending (the ids a scan actually visits).
+    active_ids: Vec<u32>,
+    /// `active_prefix[i]` = total filter instructions of `active_ids[..i]`;
+    /// the scan charges `active_prefix[i + 1]` when `active_ids[i]`
+    /// accepts, letting the fast path report scan-identical costs in O(1).
+    active_prefix: Vec<usize>,
+    /// Active channels *not* in the flow table, ascending — the only
+    /// filters a flow-table decision must still consult.
+    active_wild: Vec<u32>,
+    demux_stats: DemuxStats,
     next_channel: u32,
     next_cap: u64,
     next_ring: u32,
@@ -155,6 +238,13 @@ impl NetIoModule {
             channels: HashMap::new(),
             caps: HashMap::new(),
             ring_index: HashMap::new(),
+            flow_table: HashMap::new(),
+            flow_lhl: None,
+            scan_order: Vec::new(),
+            active_ids: Vec::new(),
+            active_prefix: vec![0],
+            active_wild: Vec::new(),
+            demux_stats: DemuxStats::default(),
             next_channel: 0,
             next_cap: 0x6100_0000_0000_0000,
             next_ring: 1, // RingId(0) is the kernel default
@@ -184,6 +274,16 @@ impl NetIoModule {
         self.next_channel += 1;
         let ring_id = RingId(self.next_ring);
         self.next_ring += 1;
+        // Distill the spec into its exact-match identity. The first
+        // distillable channel pins the module's key-extraction framing;
+        // later specs with different framing stay on the scan tier.
+        let flow = spec
+            .distill()
+            .filter(|_| *self.flow_lhl.get_or_insert(spec.link_header_len) == spec.link_header_len);
+        if let Some(key) = flow {
+            // Ids are minted ascending, so pushing keeps each entry sorted.
+            self.flow_table.entry(key).or_default().push(id.0);
+        }
         let ch = Channel {
             owner,
             capacity: region_slots,
@@ -191,6 +291,7 @@ impl NetIoModule {
             rx_ring: VecDeque::with_capacity(region_slots),
             template,
             demux: CompiledDemux::from_spec(spec),
+            flow,
             active: false,
             notify_pending: false,
             ring_id: Some(ring_id),
@@ -198,10 +299,42 @@ impl NetIoModule {
             rx_batched: 0,
         };
         self.channels.insert(id.0, ch);
+        self.scan_order.push(id.0); // ascending mint order = scan order
         self.ring_index.insert(ring_id, id);
         let send = self.issue_cap(id, Right::Send);
         let recv = self.issue_cap(id, Right::Receive);
         (id, send, recv, ring_id)
+    }
+
+    /// Rebuilds the active-channel scan caches (id order, instruction
+    /// prefix sums, wildcard subset). Called on activation and teardown —
+    /// per-connection events — so the per-packet path never sorts or
+    /// allocates.
+    fn rebuild_active(&mut self) {
+        self.active_ids.clear();
+        self.active_wild.clear();
+        self.active_prefix.clear();
+        self.active_prefix.push(0);
+        let mut sum = 0usize;
+        for &id in &self.scan_order {
+            let ch = &self.channels[&id];
+            if !ch.active {
+                continue;
+            }
+            self.active_ids.push(id);
+            sum += ch.demux.instruction_count();
+            self.active_prefix.push(sum);
+            if ch.flow.is_none() {
+                self.active_wild.push(id);
+            }
+        }
+    }
+
+    /// The filter instructions a linear scan interprets before `id`
+    /// accepts: every earlier active binding's full program plus `id`'s.
+    fn scan_equiv_instrs(&self, id: u32) -> usize {
+        let pos = self.active_ids.binary_search(&id).expect("active channel");
+        self.active_prefix[pos + 1]
     }
 
     fn issue_cap(&mut self, channel: ChannelId, right: Right) -> Capability {
@@ -223,7 +356,17 @@ impl NetIoModule {
         if let Some(ring) = ch.ring_id {
             self.ring_index.remove(&ring);
         }
+        if let Some(key) = ch.flow {
+            if let Some(ids) = self.flow_table.get_mut(&key) {
+                ids.retain(|&i| i != id.0);
+                if ids.is_empty() {
+                    self.flow_table.remove(&key);
+                }
+            }
+        }
         self.channels.remove(&id.0);
+        self.scan_order.retain(|&i| i != id.0);
+        self.rebuild_active();
         self.caps.retain(|_, e| e.channel != id);
         true
     }
@@ -253,26 +396,89 @@ impl NetIoModule {
         }
     }
 
-    /// Software demultiplexing (Ethernet path): runs each channel's filter
-    /// until one accepts, then places a handle to the frame in that
-    /// channel's ring. Channels are scanned in id order (deterministic).
-    pub fn deliver_software(&mut self, frame: &Frame) -> Delivery {
-        let mut instrs = 0;
-        let mut ids: Vec<u32> = self.channels.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let ch = self.channels.get(&id).expect("key from map");
-            if !ch.active {
-                continue;
+    /// Classifies a frame the way [`NetIoModule::deliver_software`] will,
+    /// without delivering: `(target, filter_instrs, path)` where
+    /// `filter_instrs` is the scan-equivalent modeled cost. Exposed so the
+    /// differential tests and benchmarks can exercise the decision alone.
+    pub fn classify(&self, frame: &[u8]) -> (Option<ChannelId>, usize, DemuxPath) {
+        // Tier 1: exact-match lookup. The winner is the lowest active id
+        // distilled to the frame's key (ties between duplicate bindings
+        // resolve exactly as the scan would).
+        let flow_hit: Option<u32> = self
+            .flow_lhl
+            .and_then(|lhl| FlowKey::extract(frame, lhl))
+            .and_then(|key| self.flow_table.get(&key))
+            .and_then(|ids| ids.iter().copied().find(|id| self.channels[id].active));
+        // Tier 2: a lower-id wildcard binding shadows the flow hit (the
+        // scan runs filters in id order and first match wins), so those —
+        // and only those — filters must still run. On a flow miss no
+        // distilled binding can match (the distill/extract iff guarantee),
+        // so the scan reduces to the wildcard subset.
+        let limit = flow_hit.unwrap_or(u32::MAX);
+        for &id in &self.active_wild {
+            if id >= limit {
+                break;
             }
-            instrs += ch.demux.instruction_count();
-            if ch.demux.matches(frame) {
-                return self.place(ChannelId(id), frame, instrs);
+            if self.channels[&id].demux.matches(frame) {
+                return (
+                    Some(ChannelId(id)),
+                    self.scan_equiv_instrs(id),
+                    DemuxPath::FilterScan,
+                );
             }
         }
-        self.default_deliveries += 1;
-        Delivery::KernelDefault {
-            filter_instrs: instrs,
+        match flow_hit {
+            Some(id) => (
+                Some(ChannelId(id)),
+                self.scan_equiv_instrs(id),
+                DemuxPath::FlowTable,
+            ),
+            None => (
+                None,
+                *self.active_prefix.last().expect("prefix never empty"),
+                DemuxPath::FilterScan,
+            ),
+        }
+    }
+
+    /// Reference software demultiplexer: the pure linear scan, running
+    /// every active channel's filter in id order until one accepts.
+    /// `(target, filter_instrs)`. The property tests assert
+    /// [`NetIoModule::classify`] agrees with this on both fields for
+    /// arbitrary frames and channel sets; the benchmarks measure what the
+    /// flow table saves over it.
+    pub fn classify_scan_reference(&self, frame: &[u8]) -> (Option<ChannelId>, usize) {
+        let mut instrs = 0;
+        for &id in &self.active_ids {
+            let ch = &self.channels[&id];
+            instrs += ch.demux.instruction_count();
+            if ch.demux.matches(frame) {
+                return (Some(ChannelId(id)), instrs);
+            }
+        }
+        (None, instrs)
+    }
+
+    /// Software demultiplexing (Ethernet path): decides the receiving
+    /// channel — flow table for exact-match bindings, filter scan for the
+    /// rest — then places a handle to the frame in that channel's ring.
+    pub fn deliver_software(&mut self, frame: &Frame) -> Delivery {
+        let (target, instrs, path) = self.classify(frame);
+        self.demux_stats.packets += 1;
+        self.demux_stats.filter_instrs += instrs as u64;
+        match path {
+            DemuxPath::FlowTable => self.demux_stats.flow_hits += 1,
+            _ => self.demux_stats.scan_fallbacks += 1,
+        }
+        match target {
+            Some(id) => self.place(id, frame, instrs, path),
+            None => {
+                self.default_deliveries += 1;
+                Delivery::KernelDefault {
+                    filter_instrs: instrs,
+                    path,
+                }
+            }
         }
     }
 
@@ -280,15 +486,24 @@ impl NetIoModule {
     /// frame to `ring` via its BQI table; place it directly.
     pub fn deliver_hardware(&mut self, ring: RingId, frame: &Frame) -> Delivery {
         match self.ring_index.get(&ring).copied() {
-            Some(id) => self.place(id, frame, 0),
+            Some(id) => self.place(id, frame, 0, DemuxPath::Hardware),
             None => {
                 self.default_deliveries += 1;
-                Delivery::KernelDefault { filter_instrs: 0 }
+                Delivery::KernelDefault {
+                    filter_instrs: 0,
+                    path: DemuxPath::Hardware,
+                }
             }
         }
     }
 
-    fn place(&mut self, id: ChannelId, frame: &Frame, filter_instrs: usize) -> Delivery {
+    fn place(
+        &mut self,
+        id: ChannelId,
+        frame: &Frame,
+        filter_instrs: usize,
+        path: DemuxPath,
+    ) -> Delivery {
         let ch = self
             .channels
             .get_mut(&id.0)
@@ -310,6 +525,7 @@ impl NetIoModule {
             id,
             signal,
             filter_instrs,
+            path,
         }
     }
 
@@ -367,6 +583,7 @@ impl NetIoModule {
         match self.channels.get_mut(&id.0) {
             Some(ch) => {
                 ch.active = true;
+                self.rebuild_active();
                 true
             }
             None => false,
@@ -390,6 +607,16 @@ impl NetIoModule {
         self.channels
             .get(&id.0)
             .map(|ch| (ch.rx_delivered, ch.rx_batched))
+    }
+
+    /// Software-demultiplexing counters since construction.
+    pub fn demux_stats(&self) -> DemuxStats {
+        self.demux_stats
+    }
+
+    /// Number of live flow-table entries (distilled bindings).
+    pub fn flow_table_len(&self) -> usize {
+        self.flow_table.values().map(Vec::len).sum()
     }
 }
 
@@ -667,5 +894,162 @@ mod tests {
         let (_, send, _recv, _) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
         assert!(m.consume_batch(send).is_err());
         assert!(m.end_wakeup(send).is_err());
+    }
+
+    fn wildcard_spec(port: u16) -> DemuxSpec {
+        DemuxSpec {
+            link_header_len: 14,
+            protocol: IpProtocol::Tcp,
+            local_ip: US,
+            local_port: port,
+            remote_ip: None,
+            remote_port: None,
+        }
+    }
+
+    #[test]
+    fn exact_binding_takes_flow_table_path() {
+        let mut m = NetIoModule::new();
+        let (id, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        m.activate(id);
+        assert_eq!(m.flow_table_len(), 1);
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        match m.deliver_software(&frame) {
+            Delivery::Channel {
+                id: did,
+                path,
+                filter_instrs,
+                ..
+            } => {
+                assert_eq!(did, id);
+                assert_eq!(path, DemuxPath::FlowTable);
+                // Scan-equivalent modeled cost: this channel's own program.
+                assert_eq!(filter_instrs, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = m.demux_stats();
+        assert_eq!((s.flow_hits, s.scan_fallbacks, s.packets), (1, 0, 1));
+    }
+
+    #[test]
+    fn lower_id_wildcard_shadows_flow_hit() {
+        // Channel 0: wildcard listener on port 80. Channel 1: exact binding
+        // for the same traffic. A scan visits id 0 first, so the wildcard
+        // must win even though the flow table knows channel 1.
+        let mut m = NetIoModule::new();
+        let (wild, ..) = m.create_channel(OwnerTag(1), &wildcard_spec(80), template(), 8, 2048);
+        let (exact, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        m.activate(wild);
+        m.activate(exact);
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        match m.deliver_software(&frame) {
+            Delivery::Channel { id, path, .. } => {
+                assert_eq!(id, wild, "scan order must win");
+                assert_eq!(path, DemuxPath::FilterScan);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // With the wildcard torn down, the exact binding takes over on the
+        // fast path.
+        assert!(m.destroy_channel(wild, OwnerTag(1)));
+        match m.deliver_software(&frame) {
+            Delivery::Channel { id, path, .. } => {
+                assert_eq!(id, exact);
+                assert_eq!(path, DemuxPath::FlowTable);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn higher_id_wildcard_does_not_preempt_flow_hit() {
+        let mut m = NetIoModule::new();
+        let (exact, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        let (wild, ..) = m.create_channel(OwnerTag(1), &wildcard_spec(80), template(), 8, 2048);
+        m.activate(exact);
+        m.activate(wild);
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        match m.deliver_software(&frame) {
+            Delivery::Channel { id, path, .. } => {
+                assert_eq!(id, exact);
+                assert_eq!(path, DemuxPath::FlowTable);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_lowest_active_id() {
+        let mut m = NetIoModule::new();
+        let (a, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        let (b, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        assert_eq!(m.flow_table_len(), 2);
+        // Only the higher id is active: it receives.
+        m.activate(b);
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { id, .. } if id == b
+        ));
+        // Both active: the scan winner is the lower id.
+        m.activate(a);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { id, .. } if id == a
+        ));
+        assert!(m.destroy_channel(a, OwnerTag(1)));
+        assert_eq!(m.flow_table_len(), 1);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { id, .. } if id == b
+        ));
+    }
+
+    #[test]
+    fn fragment_falls_back_to_scan_tier() {
+        use unp_wire::Ipv4Repr;
+        let mut m = NetIoModule::new();
+        let (id, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        m.activate(id);
+        // A non-first fragment has no flow identity and no transport
+        // header: the exact binding rejects it, and it lands on the kernel
+        // default path via the scan tier.
+        let ip = Ipv4Repr {
+            frag_offset: 64,
+            ..Ipv4Repr::simple(THEM, US, IpProtocol::Tcp, 8)
+        };
+        let frame = Frame::from_vec(
+            EthernetRepr {
+                dst: MacAddr::from_host_index(OUR_MAC_IDX),
+                src: MacAddr::from_host_index(THEIR_MAC_IDX),
+                ethertype: EtherType::Ipv4,
+            }
+            .build_frame(&ip.build_packet(&[0u8; 8])),
+        );
+        match m.deliver_software(&frame) {
+            Delivery::KernelDefault { path, .. } => assert_eq!(path, DemuxPath::FilterScan),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_agrees_with_scan_reference() {
+        let mut m = NetIoModule::new();
+        let (a, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        let (b, ..) = m.create_channel(OwnerTag(1), &wildcard_spec(81), template(), 8, 2048);
+        m.activate(a);
+        m.activate(b);
+        for frame in [
+            tcp_frame(THEM, US, 5000, 80),
+            tcp_frame(THEM, US, 5000, 81),
+            tcp_frame(THEM, US, 5001, 80),
+            tcp_frame(US, THEM, 80, 5000),
+        ] {
+            let (fast, fast_instrs, _) = m.classify(&frame);
+            let (slow, slow_instrs) = m.classify_scan_reference(&frame);
+            assert_eq!(fast, slow);
+            assert_eq!(fast_instrs, slow_instrs, "modeled cost must match scan");
+        }
     }
 }

@@ -33,10 +33,11 @@ pub use udp::UdpRegistry;
 use std::collections::HashMap;
 
 use unp_buffers::OwnerTag;
+use unp_filter::programs::DemuxSpec;
 #[cfg(test)]
 use unp_tcp::State;
 use unp_tcp::{ListenTcb, Tcb, TcpAction, TcpConfig, TcpTimer};
-use unp_wire::{Ipv4Addr, TcpRepr};
+use unp_wire::{IpProtocol, Ipv4Addr, TcpRepr};
 
 /// Time in nanoseconds.
 pub type Nanos = u64;
@@ -96,6 +97,31 @@ struct Pending {
     done: bool,
     /// True for connections inherited from exited applications.
     inherited: bool,
+}
+
+/// The demux binding the registry installs with the network I/O module at
+/// connection setup ("the registry server activates the address
+/// demultiplexing mechanism as part of the connection establishment
+/// phase"). Connection endpoints are always fully specified — both remote
+/// address and port are known by the time the channel is created — so the
+/// spec is guaranteed *distillable* into an exact-match [`unp_wire::FlowKey`]
+/// and every established connection rides the kernel's O(1) flow-table
+/// fast path rather than the per-packet filter scan.
+pub fn connection_demux_spec(
+    link_header_len: usize,
+    local: (Ipv4Addr, u16),
+    remote: (Ipv4Addr, u16),
+) -> DemuxSpec {
+    let spec = DemuxSpec {
+        link_header_len,
+        protocol: IpProtocol::Tcp,
+        local_ip: local.0,
+        local_port: local.1,
+        remote_ip: Some(remote.0),
+        remote_port: Some(remote.1),
+    };
+    debug_assert!(spec.distill().is_some(), "connection specs are exact-match");
+    spec
 }
 
 /// Errors from registry calls.
@@ -503,6 +529,19 @@ mod tests {
         // The endpoints agree.
         assert_eq!(done_a[0].remote(), done_b[0].local());
         assert_eq!(done_b[0].remote(), done_a[0].local());
+    }
+
+    #[test]
+    fn connection_specs_are_distillable() {
+        // The flow-table fast path depends on setup installing exact-match
+        // bindings; pin that here for both link framings.
+        for lhl in [14usize, 18] {
+            let spec = connection_demux_spec(lhl, (IP_A, 80), (IP_B, 5000));
+            let key = spec.distill().expect("setup specs must distill");
+            assert_eq!(key.protocol, IpProtocol::Tcp.to_u8());
+            assert_eq!((key.local_ip, key.local_port), (IP_A, 80));
+            assert_eq!((key.remote_ip, key.remote_port), (IP_B, 5000));
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod costs;
 pub mod cpu;
 pub mod trace;
 
-pub use costs::{CostModel, LinkParams};
+pub use costs::{CostModel, DemuxPath, LinkParams};
 pub use cpu::Cpu;
 pub use trace::Trace;
 

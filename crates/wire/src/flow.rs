@@ -1,0 +1,171 @@
+//! Exact-match flow identification for input packet demultiplexing.
+//!
+//! The software demux fast path (see `unp-kernel`) keys fully-specified
+//! connection bindings by their TCP/UDP 5-tuple. [`FlowKey::extract`] pulls
+//! that tuple out of a raw frame with a single bounds-checked parse.
+//!
+//! The extraction conditions are deliberately *identical* to the acceptance
+//! conditions of `unp_filter::CompiledDemux` for a fully-specified spec:
+//! IPv4 EtherType, version 4, sane IHL, first fragment only. This gives the
+//! fast path its correctness invariant — a fully-specified binding matches a
+//! frame **iff** the frame's extracted key equals the binding's distilled
+//! key — so a flow-table hit or miss is exactly what a linear filter scan
+//! over those bindings would have decided.
+
+use crate::Ipv4Addr;
+
+/// The exact-match identity of a first-fragment IPv4 TCP/UDP frame, from
+/// the receiving host's point of view: `local` is where the frame is headed
+/// (IP destination / transport destination port), `remote` is where it came
+/// from (IP source / transport source port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// IP protocol number (6 TCP, 17 UDP — any value is legal).
+    pub protocol: u8,
+    /// IP destination address.
+    pub local_ip: Ipv4Addr,
+    /// Transport destination port.
+    pub local_port: u16,
+    /// IP source address.
+    pub remote_ip: Ipv4Addr,
+    /// Transport source port.
+    pub remote_port: u16,
+}
+
+impl FlowKey {
+    /// Extracts the flow key from a raw frame whose IP header starts at
+    /// `link_header_len`, or `None` when the frame carries no exact-match
+    /// identity: non-IPv4 EtherType, bad version or IHL, a non-first
+    /// fragment (no transport header present), or truncation anywhere the
+    /// parse reads.
+    ///
+    /// The EtherType is read at byte offset 12 regardless of
+    /// `link_header_len` — the AN1 header keeps the dst/src/type prefix at
+    /// Ethernet offsets and appends its own fields, so offset 12 is the
+    /// type field on both media (the same convention `CompiledDemux` uses).
+    pub fn extract(frame: &[u8], link_header_len: usize) -> Option<FlowKey> {
+        let ethertype = frame.get(12..14)?;
+        if ethertype != [0x08, 0x00] {
+            return None;
+        }
+        let ip = frame.get(link_header_len..)?;
+        if ip.len() < 20 || ip[0] >> 4 != 4 {
+            return None;
+        }
+        let ihl = usize::from(ip[0] & 0x0f) * 4;
+        if ihl < 20 || ip.len() < ihl + 4 {
+            return None;
+        }
+        // Non-first fragments carry no transport header; they have no flow
+        // identity and must take the demultiplexer's slow path.
+        let frag = u16::from_be_bytes([ip[6], ip[7]]);
+        if frag & 0x1fff != 0 {
+            return None;
+        }
+        Some(FlowKey {
+            protocol: ip[9],
+            local_ip: Ipv4Addr([ip[16], ip[17], ip[18], ip[19]]),
+            local_port: u16::from_be_bytes([ip[ihl + 2], ip[ihl + 3]]),
+            remote_ip: Ipv4Addr([ip[12], ip[13], ip[14], ip[15]]),
+            remote_port: u16::from_be_bytes([ip[ihl], ip[ihl + 1]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        EtherType, EthernetRepr, IpProtocol, Ipv4Repr, MacAddr, SeqNum, TcpFlags, TcpRepr, UdpRepr,
+    };
+
+    fn tcp_frame(src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> Vec<u8> {
+        let t = TcpRepr {
+            src_port: sport,
+            dst_port: dport,
+            seq: SeqNum(1),
+            ack_num: SeqNum(0),
+            flags: TcpFlags::ack(),
+            window: 1024,
+            mss: None,
+        };
+        let seg = t.build_segment(src, dst, b"x");
+        let ip = Ipv4Repr::simple(src, dst, IpProtocol::Tcp, seg.len());
+        EthernetRepr {
+            dst: MacAddr::from_host_index(2),
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Ipv4,
+        }
+        .build_frame(&ip.build_packet(&seg))
+    }
+
+    #[test]
+    fn extracts_tcp_five_tuple() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let key = FlowKey::extract(&tcp_frame(src, dst, 5000, 80), 14).unwrap();
+        assert_eq!(
+            key,
+            FlowKey {
+                protocol: IpProtocol::Tcp.to_u8(),
+                local_ip: dst,
+                local_port: 80,
+                remote_ip: src,
+                remote_port: 5000,
+            }
+        );
+    }
+
+    #[test]
+    fn extracts_udp_five_tuple() {
+        let src = Ipv4Addr::new(10, 0, 0, 7);
+        let dst = Ipv4Addr::new(10, 0, 0, 9);
+        let udp = UdpRepr {
+            src_port: 4000,
+            dst_port: 53,
+        };
+        let dgram = udp.build_datagram(src, dst, b"q");
+        let ip = Ipv4Repr::simple(src, dst, IpProtocol::Udp, dgram.len());
+        let frame = EthernetRepr {
+            dst: MacAddr::from_host_index(2),
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Ipv4,
+        }
+        .build_frame(&ip.build_packet(&dgram));
+        let key = FlowKey::extract(&frame, 14).unwrap();
+        assert_eq!(key.protocol, IpProtocol::Udp.to_u8());
+        assert_eq!((key.local_port, key.remote_port), (53, 4000));
+    }
+
+    #[test]
+    fn non_ip_and_truncated_frames_have_no_key() {
+        let arp = EthernetRepr {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Arp,
+        }
+        .build_frame(&[0u8; 28]);
+        assert_eq!(FlowKey::extract(&arp, 14), None);
+        let frame = tcp_frame(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 1, 2);
+        for len in 0..frame.len().min(14 + 24) {
+            assert_eq!(FlowKey::extract(&frame[..len], 14), None, "len {len}");
+        }
+    }
+
+    #[test]
+    fn non_first_fragment_has_no_key() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let ip = Ipv4Repr {
+            frag_offset: 64,
+            ..Ipv4Repr::simple(src, dst, IpProtocol::Udp, 8)
+        };
+        let frame = EthernetRepr {
+            dst: MacAddr::from_host_index(2),
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Ipv4,
+        }
+        .build_frame(&ip.build_packet(&[0u8; 8]));
+        assert_eq!(FlowKey::extract(&frame, 14), None);
+    }
+}

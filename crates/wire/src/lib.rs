@@ -15,6 +15,7 @@ pub mod an1;
 pub mod arp;
 pub mod checksum;
 pub mod ether;
+pub mod flow;
 pub mod icmp;
 pub mod ipv4;
 pub mod seq;
@@ -28,6 +29,7 @@ pub use ether::{
     EtherType, EthernetFrame, EthernetRepr, ETHERNET_HEADER_LEN, ETHERNET_MAX_PAYLOAD,
     ETHERNET_MIN_FRAME,
 };
+pub use flow::FlowKey;
 pub use icmp::{IcmpPacket, IcmpRepr, IcmpType};
 pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr, IPV4_HEADER_LEN};
 pub use seq::SeqNum;

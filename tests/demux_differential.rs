@@ -1,0 +1,257 @@
+//! Differential verification of the software-demux fast path.
+//!
+//! The kernel's two-tier demultiplexer (exact-match flow table + wildcard
+//! filter scan, `NetIoModule::classify`) must agree with a pure linear
+//! filter scan (`classify_scan_reference`) on **both** the target channel
+//! and the modeled filter-instruction count, for arbitrary channel sets —
+//! connected and wildcard bindings, duplicate 5-tuples, mismatched link
+//! framing, activation subsets, teardown churn — and arbitrary frames —
+//! hits, misses, fragments, truncations, non-IP. This is the invariant
+//! that lets the fast path exist at all: the reproduced tables charge the
+//! 1993 scan's costs, so the mechanism underneath must be unobservable.
+
+use proptest::prelude::*;
+
+use unp::buffers::OwnerTag;
+use unp::filter::programs::DemuxSpec;
+use unp::kernel::{ChannelId, HeaderTemplate, NetIoModule};
+use unp::wire::{
+    EtherType, EthernetRepr, IpProtocol, Ipv4Addr, Ipv4Repr, MacAddr, SeqNum, TcpFlags, TcpRepr,
+    UdpRepr,
+};
+
+/// Small pools so generated channels and frames collide often — the
+/// interesting cases are exact hits, near-misses, and duplicate bindings,
+/// not a sea of unrelated addresses.
+const IPS: [Ipv4Addr; 3] = [
+    Ipv4Addr::new(10, 0, 0, 1),
+    Ipv4Addr::new(10, 0, 0, 2),
+    Ipv4Addr::new(10, 0, 0, 3),
+];
+const PORTS: [u16; 4] = [80, 7, 5000, 5001];
+
+/// One generated binding: protocol choice, local/remote endpoints drawn
+/// from the pools (`remote = None` wildcards, i.e. a listening socket),
+/// link framing, and lifecycle (activated? torn down again?).
+#[derive(Debug, Clone, Copy)]
+struct ChanGen {
+    tcp: bool,
+    local: (usize, usize),
+    remote: Option<(usize, usize)>,
+    /// Ethernet (14) for most; occasionally AN1 framing (16) to exercise
+    /// the mismatched-link-header scan-tier fallback.
+    link_header_len: usize,
+    active: bool,
+    destroy: bool,
+}
+
+/// One generated frame: endpoints from the pools plus a shape knob —
+/// 0 = normal, 1 = non-first fragment, 2 = non-IPv4 EtherType,
+/// 3 = truncated mid-header.
+#[derive(Debug, Clone, Copy)]
+struct FrameGen {
+    tcp: bool,
+    src: (usize, usize),
+    dst: (usize, usize),
+    shape: u8,
+}
+
+fn arb_chan() -> impl Strategy<Value = ChanGen> {
+    (
+        any::<bool>(),
+        (0usize..IPS.len(), 0usize..PORTS.len()),
+        proptest::option::of((0usize..IPS.len(), 0usize..PORTS.len())),
+        prop_oneof![Just(14usize), Just(14usize), Just(14usize), Just(16usize)],
+        any::<bool>(),
+        0u8..8,
+    )
+        .prop_map(|(tcp, local, remote, link_header_len, active, d)| ChanGen {
+            tcp,
+            local,
+            remote,
+            link_header_len,
+            active,
+            destroy: d == 0, // ~1 in 8 channels is torn down again
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = FrameGen> {
+    (
+        any::<bool>(),
+        (0usize..IPS.len(), 0usize..PORTS.len()),
+        (0usize..IPS.len(), 0usize..PORTS.len()),
+        0u8..8,
+    )
+        .prop_map(|(tcp, src, dst, shape)| FrameGen {
+            tcp,
+            src,
+            dst,
+            shape: shape.min(3), // bias toward normal frames
+        })
+}
+
+fn spec_of(c: &ChanGen) -> DemuxSpec {
+    DemuxSpec {
+        link_header_len: c.link_header_len,
+        protocol: if c.tcp {
+            IpProtocol::Tcp
+        } else {
+            IpProtocol::Udp
+        },
+        local_ip: IPS[c.local.0],
+        local_port: PORTS[c.local.1],
+        remote_ip: c.remote.map(|(i, _)| IPS[i]),
+        remote_port: c.remote.map(|(_, p)| PORTS[p]),
+    }
+}
+
+/// Delivery tests never transmit, so the template content is irrelevant;
+/// it just has to be well-formed for `create_channel`.
+fn template_of(spec: &DemuxSpec) -> HeaderTemplate {
+    HeaderTemplate {
+        link_header_len: spec.link_header_len,
+        src_mac: None,
+        dst_mac: None,
+        ethertype: EtherType::Ipv4,
+        protocol: spec.protocol,
+        src_ip: spec.local_ip,
+        dst_ip: spec.remote_ip.unwrap_or(Ipv4Addr::new(0, 0, 0, 0)),
+        src_port: spec.local_port,
+        dst_port: spec.remote_port,
+        bqi: None,
+    }
+}
+
+/// Builds the Ethernet frame bytes for a generated frame. All frames use
+/// Ethernet framing (the module under test serves an Ethernet device);
+/// AN1-framed *channels* are the mismatch case, not AN1 frames.
+fn build_frame(f: &FrameGen) -> Vec<u8> {
+    let src = IPS[f.src.0];
+    let dst = IPS[f.dst.0];
+    let payload = if f.tcp {
+        TcpRepr {
+            src_port: PORTS[f.src.1],
+            dst_port: PORTS[f.dst.1],
+            seq: SeqNum(1),
+            ack_num: SeqNum(0),
+            flags: TcpFlags::ack(),
+            window: 1000,
+            mss: None,
+        }
+        .build_segment(src, dst, b"x")
+    } else {
+        UdpRepr {
+            src_port: PORTS[f.src.1],
+            dst_port: PORTS[f.dst.1],
+        }
+        .build_datagram(src, dst, b"x")
+    };
+    let proto = if f.tcp {
+        IpProtocol::Tcp
+    } else {
+        IpProtocol::Udp
+    };
+    let mut ip = Ipv4Repr::simple(src, dst, proto, payload.len());
+    if f.shape == 1 {
+        // Non-first fragment: ports live in fragment zero only, so demux
+        // (both tiers) must refuse to read them here.
+        ip.frag_offset = 64;
+    }
+    let ethertype = if f.shape == 2 {
+        EtherType::Arp
+    } else {
+        EtherType::Ipv4
+    };
+    let mut bytes = EthernetRepr {
+        dst: MacAddr::from_host_index(2),
+        src: MacAddr::from_host_index(1),
+        ethertype,
+    }
+    .build_frame(&ip.build_packet(&payload));
+    if f.shape == 3 {
+        // Truncated mid-IP-header: too short for any port comparison.
+        bytes.truncate(14 + 8);
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every generated module population and frame, the two-tier
+    /// demux and the pure linear scan return the same `(target,
+    /// filter_instrs)` — the fast path is unobservable except in speed.
+    #[test]
+    fn flow_table_demux_equals_linear_scan(
+        chans in proptest::collection::vec(arb_chan(), 1..12),
+        frames in proptest::collection::vec(arb_frame(), 1..24),
+    ) {
+        let mut m = NetIoModule::new();
+        let mut ids: Vec<(ChannelId, ChanGen)> = Vec::new();
+        for c in &chans {
+            let spec = spec_of(c);
+            let (id, ..) = m.create_channel(OwnerTag(1), &spec, template_of(&spec), 8, 2048);
+            ids.push((id, *c));
+        }
+        for &(id, c) in &ids {
+            if c.active {
+                m.activate(id);
+            }
+        }
+        // Teardown churn: flow-table and scan caches must stay coherent
+        // through destroys, not just installs.
+        for &(id, c) in &ids {
+            if c.destroy {
+                m.destroy_channel(id, OwnerTag(1));
+            }
+        }
+        for f in &frames {
+            let bytes = build_frame(f);
+            let (fast_target, fast_instrs, _path) = m.classify(&bytes);
+            let (scan_target, scan_instrs) = m.classify_scan_reference(&bytes);
+            prop_assert_eq!(
+                fast_target, scan_target,
+                "target diverged for {:?} over {:?}", f, chans
+            );
+            prop_assert_eq!(
+                fast_instrs, scan_instrs,
+                "modeled cost diverged for {:?} over {:?}", f, chans
+            );
+        }
+    }
+
+    /// Same agreement under interleaved churn: deliveries between
+    /// activations and teardowns, so every intermediate cache state is
+    /// exercised, not just the final population.
+    #[test]
+    fn agreement_holds_at_every_churn_step(
+        chans in proptest::collection::vec(arb_chan(), 1..10),
+        frame in arb_frame(),
+    ) {
+        let mut m = NetIoModule::new();
+        let bytes = build_frame(&frame);
+        let check = |m: &NetIoModule| -> Result<(), TestCaseError> {
+            let (ft, fi, _) = m.classify(&bytes);
+            let (st, si) = m.classify_scan_reference(&bytes);
+            prop_assert_eq!((ft, fi), (st, si), "diverged over {:?}", chans);
+            Ok(())
+        };
+        let mut ids = Vec::new();
+        for c in &chans {
+            let spec = spec_of(c);
+            let (id, ..) = m.create_channel(OwnerTag(1), &spec, template_of(&spec), 8, 2048);
+            check(&m)?;
+            if c.active {
+                m.activate(id);
+                check(&m)?;
+            }
+            ids.push((id, *c));
+        }
+        for &(id, c) in &ids {
+            if c.destroy {
+                m.destroy_channel(id, OwnerTag(1));
+                check(&m)?;
+            }
+        }
+    }
+}
