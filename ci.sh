@@ -19,12 +19,22 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
 
+# Observability must be optional: with the `trace` feature off, every
+# journal emission site compiles to an inert no-op and the workspace must
+# still build and pass the root suites.
+echo "== trace feature off: build + test =="
+cargo build --offline --no-default-features
+cargo test -q --offline --no-default-features
+
 # The two invariants the fast paths stand on, run explicitly (and in
 # release, matching how the artifacts are produced): the zero-copy frame
 # path must keep the golden pcap byte-identical, and the flow-table demux
-# must be indistinguishable from the linear filter scan.
-echo "== tier-1: zero-copy golden pcap + demux differential (release) =="
-cargo test -q --release --offline --test zero_copy --test demux_differential
+# must be indistinguishable from the linear filter scan. The journal
+# determinism tests join them: two identical runs must produce
+# byte-identical journals, and every delivered frame's lifecycle must
+# reconstruct by frame id.
+echo "== tier-1: zero-copy golden pcap + demux differential + journal (release) =="
+cargo test -q --release --offline --test zero_copy --test demux_differential --test journal
 
 # The reproduced tables are the project's ground truth: any diff against
 # the committed golden output — including from a demux or buffering

@@ -248,6 +248,47 @@ fn bench_frame_path(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // The disabled-mode guarantee: with the journal quiescent, every emit
+    // site in the hot path reduces to one relaxed atomic load and the
+    // event constructor closure is never run. `classify` carries a real
+    // `demux_classify` emission, so comparing it quiescent vs recording —
+    // and against the `demux_scaling` numbers, which match PR 2's — shows
+    // the instrumentation costs nothing when off.
+    let (m, frame) = unp_bench::demux::populated_module(64);
+    assert!(!unp_trace::journal_enabled());
+    let mut g = c.benchmark_group("trace_overhead");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("classify_quiescent_x256", |b| {
+        b.iter(|| {
+            for _ in 0..256 {
+                black_box(m.classify(black_box(&frame)));
+            }
+        })
+    });
+    g.bench_function("classify_recording_x256", |b| {
+        b.iter(|| {
+            unp_trace::journal_start();
+            for _ in 0..256 {
+                black_box(m.classify(black_box(&frame)));
+            }
+            unp_trace::journal_stop().len()
+        })
+    });
+    g.finish();
+    assert!(!unp_trace::journal_enabled());
+
+    let mut g = c.benchmark_group("trace_emit");
+    g.bench_function("emit_quiescent", |b| {
+        b.iter(|| {
+            unp_trace::emit(black_box(Some(1)), || unp_trace::Event::NicTx {
+                len: black_box(1500),
+            })
+        })
+    });
+    g.finish();
+}
+
 fn bench_loopback_transfer(c: &mut Criterion) {
     // End-to-end protocol work for a 256 kB transfer over the clean
     // loopback harness: measures the real state-machine throughput of the
@@ -280,6 +321,7 @@ criterion_group!(
     bench_timers,
     bench_tcp_wire,
     bench_frame_path,
+    bench_trace_overhead,
     bench_loopback_transfer
 );
 criterion_main!(benches);

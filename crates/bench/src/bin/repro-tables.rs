@@ -9,19 +9,24 @@
 //! #   also time each table (host wall-clock, events, frame allocations),
 //! #   run the frame-pool ablation and the demux fast-path report, and
 //! #   write BENCH_zero_copy.json + BENCH_demux.json
+//! cargo run -p unp-bench --release --bin repro-tables -- --trace
+//! #   also rerun the Table-2 workload with the event journal recording,
+//! #   print the receive-path latency breakdown cross-checked against the
+//! #   modeled costs, and write BENCH_trace.json
 //! ```
 
-use unp_bench::{demux, tables, timings};
+use unp_bench::{demux, tables, timings, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
     let want_timings = args.iter().any(|a| a == "--timings" || a == "timings");
+    let want_trace = args.iter().any(|a| a == "--trace" || a == "trace");
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     let rounds = if quick { 10 } else { 30 };
     let selectors: Vec<&String> = args
         .iter()
-        .filter(|a| *a != "--timings" && *a != "timings")
+        .filter(|a| *a != "--timings" && *a != "timings" && *a != "--trace" && *a != "trace")
         .collect();
     let pick =
         |name: &str| selectors.is_empty() || selectors.iter().any(|a| *a == name || *a == "quick");
@@ -64,6 +69,16 @@ fn main() {
         demux::print_report(&d);
         let json = demux::to_json(&d);
         let path = "BENCH_demux.json";
+        std::fs::write(path, &json).expect("write benchmark json");
+        println!("wrote {path}");
+    }
+
+    if want_trace {
+        let trace_total = if quick { 400_000 } else { 1_000_000 };
+        let rows = trace::trace_section(trace_total);
+        trace::print_report(&rows);
+        let json = trace::to_json(&rows, trace_total);
+        let path = "BENCH_trace.json";
         std::fs::write(path, &json).expect("write benchmark json");
         println!("wrote {path}");
     }

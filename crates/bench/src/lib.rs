@@ -10,3 +10,4 @@
 pub mod demux;
 pub mod tables;
 pub mod timings;
+pub mod trace;

@@ -169,6 +169,7 @@ impl FramePool {
             }),
             head: headroom,
             len: payload.len(),
+            id: unp_trace::next_frame_id(),
         };
         if !payload.is_empty() {
             bump_stats(|s| s.bytes_copied += payload.len() as u64);
@@ -194,6 +195,10 @@ pub struct Frame {
     backing: Rc<Backing>,
     head: usize,
     len: usize,
+    /// Journal identity: stamped once at creation, shared by every clone
+    /// and slice, so the event journal can follow one packet's bytes from
+    /// NIC to application regardless of how many handles exist.
+    id: u64,
 }
 
 impl Frame {
@@ -208,7 +213,16 @@ impl Frame {
             }),
             head: 0,
             len,
+            id: unp_trace::next_frame_id(),
         }
+    }
+
+    /// The frame's journal identity. Clones and slices keep their
+    /// parent's id — they are views of the same packet. COW divergence
+    /// also keeps the id: the bytes still belong to the same logical
+    /// packet's lifecycle.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Remaining headroom available for prepending.
@@ -305,6 +319,7 @@ impl Frame {
             backing: Rc::clone(&self.backing),
             head: self.head + start,
             len: end - start,
+            id: self.id,
         }
     }
 
@@ -332,6 +347,7 @@ impl Clone for Frame {
             backing: Rc::clone(&self.backing),
             head: self.head,
             len: self.len,
+            id: self.id,
         }
     }
 }

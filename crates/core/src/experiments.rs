@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use unp_sim::{CostModel, Engine, LinkParams, Nanos, MILLIS};
 use unp_tcp::TcpConfig;
+use unp_trace::Ctr;
 use unp_wire::Ipv4Addr;
 
 use crate::app::{BulkSender, EchoApp, PingPongApp, SinkApp, TransferStats};
@@ -344,7 +345,7 @@ pub fn ablation_nagle(total: u64, nagle: bool) -> (f64, u64) {
     assert_eq!(s.bytes_received, total);
     (
         s.throughput_bps().expect("moved") / 1e6,
-        w.trace.get("frames_sent"),
+        w.metrics.get(Ctr::FramesSent),
     )
 }
 

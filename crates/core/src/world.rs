@@ -11,14 +11,15 @@
 use std::collections::HashMap;
 
 use unp_buffers::{Frame, FramePool, OwnerTag};
-use unp_kernel::{Capability, ChannelId, Delivery, HeaderTemplate, NetIoModule};
+use unp_kernel::{Capability, ChannelId, ChannelStats, Delivery, HeaderTemplate, NetIoModule};
 use unp_netdev::{An1Nic, LanceNic, Link, StationId};
 use unp_proto::arp::ArpResult;
 use unp_proto::{icmp_input, ArpCache, IpEndpoint, IpRecv, UdpLayer};
 use unp_registry::{HsId, RegistryAction, RegistryServer};
-use unp_sim::{CostModel, Cpu, DemuxPath, Engine, EventId, LinkParams, Nanos, Trace};
+use unp_sim::{CostModel, Cpu, DemuxPath, Engine, EventId, LinkParams, Nanos};
 use unp_tcp::{ListenTcb, Tcb, TcpAction, TcpConfig, TcpTimer};
 use unp_timers::{TimerId, TimerService, TimerWheel};
+use unp_trace::{ConnKey, Ctr, Gauge, Hist, Metrics};
 use unp_wire::{
     An1Frame, An1Repr, ArpPacket, ArpRepr, EtherType, EthernetRepr, IpProtocol, Ipv4Addr, Ipv4Repr,
     MacAddr, TcpPacket, TcpRepr, AN1_HEADER_LEN, ETHERNET_HEADER_LEN, IPV4_HEADER_LEN,
@@ -230,8 +231,9 @@ pub struct World {
     pub link: Link,
     /// Hosts on the link.
     pub hosts: Vec<Host>,
-    /// Measurement counters.
-    pub trace: Trace,
+    /// Typed measurement registry: counters, gauges, histograms, and the
+    /// per-connection/per-channel scopes filled at teardown.
+    pub metrics: Metrics,
     /// Ablation: disable notification batching (post a semaphore and take
     /// a thread switch for every delivered packet).
     pub ablate_batching: bool,
@@ -395,7 +397,7 @@ pub fn build_hosts(n: usize, network: Network, org: OrgKind) -> (World, Eng) {
         network,
         link,
         hosts,
-        trace: Trace::new(),
+        metrics: Metrics::new(),
         ablate_batching: false,
         ablate_zero_copy: false,
         pool: FramePool::new(buf_size, 256),
@@ -504,6 +506,7 @@ fn install_conn(
     chan: Option<ChanInfo>,
     write_size: usize,
 ) -> u32 {
+    w.metrics.gauge_inc(Gauge::ActiveConnections);
     let host = &mut w.hosts[h];
     let id = host.next_conn;
     host.next_conn += 1;
@@ -785,7 +788,10 @@ fn transmit_frame(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     let now = eng.now();
     let (_start, arrival) = w.link.reserve(StationId(h), now, frame.len());
     let dst = MacAddr([frame[0], frame[1], frame[2], frame[3], frame[4], frame[5]]);
-    w.trace.bump("frames_sent");
+    w.metrics.bump(Ctr::FramesSent);
+    unp_trace::emit_at(h as u16, Some(frame.id()), || unp_trace::Event::NicTx {
+        len: frame.len() as u32,
+    });
     w.run_taps(now, &frame);
     for rcpt in w.link.recipients(StationId(h), dst) {
         let bytes = frame.clone();
@@ -824,12 +830,13 @@ fn send_ip_packets(
 
 /// Entry point for a frame reaching host `h`'s interface.
 pub fn frame_arrives(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
-    w.trace.bump("frames_received");
+    w.metrics.bump(Ctr::FramesReceived);
+    let _attr = unp_trace::host_scope(h as u16);
     let cost = rx_device_cost(w, h, frame.len());
     match &mut w.hosts[h].nic {
         Nic::Lance(nic) => {
             if !nic.frame_arrived(frame, eng.now()) {
-                w.trace.bump("nic_drops");
+                w.metrics.bump(Ctr::NicDrops);
                 return;
             }
             host_exec_intr(w, eng, h, cost, move |w, eng| {
@@ -843,7 +850,7 @@ pub fn frame_arrives(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
         Nic::An1(nic) => {
             // Hardware classification happens in the controller before the
             // completion interrupt.
-            let ring = nic.classify(&frame);
+            let ring = nic.classify_frame(&frame);
             host_exec_intr(w, eng, h, cost, move |w, eng| {
                 kernel_input(w, eng, h, frame, Some(ring));
             });
@@ -860,6 +867,7 @@ fn kernel_input(
     frame: Frame,
     hw_ring: Option<unp_buffers::RingId>,
 ) {
+    let _attr = unp_trace::host_scope(h as u16);
     let lhl = w.hosts[h].link_header_len();
     if frame.len() < lhl {
         return;
@@ -874,7 +882,7 @@ fn kernel_input(
                 monolithic_ip_input(w, eng, h, frame);
             }
         }
-        EtherType::Other(_) => w.trace.bump("unknown_ethertype"),
+        EtherType::Other(_) => w.metrics.bump(Ctr::UnknownEthertype),
     }
 }
 
@@ -946,10 +954,10 @@ fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
             payload,
             ..
         } => icmp_input_host(w, eng, h, src, &payload),
-        IpRecv::Complete { .. } => w.trace.bump("ip_unknown_proto"),
-        IpRecv::FragmentHeld => w.trace.bump("ip_fragments_held"),
-        IpRecv::NotForUs => w.trace.bump("ip_not_for_us"),
-        IpRecv::Bad(_) => w.trace.bump("ip_bad"),
+        IpRecv::Complete { .. } => w.metrics.bump(Ctr::IpUnknownProto),
+        IpRecv::FragmentHeld => w.metrics.bump(Ctr::IpFragmentsHeld),
+        IpRecv::NotForUs => w.metrics.bump(Ctr::IpNotForUs),
+        IpRecv::Bad(_) => w.metrics.bump(Ctr::IpBad),
     }
 }
 
@@ -959,11 +967,11 @@ fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
 fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, payload: Frame) {
     let local_ip = w.hosts[h].ip;
     let Ok(pkt) = TcpPacket::new_checked(&payload[..]) else {
-        w.trace.bump("tcp_malformed");
+        w.metrics.bump(Ctr::TcpMalformed);
         return;
     };
     if !pkt.verify_checksum(src, local_ip) {
-        w.trace.bump("tcp_bad_checksum");
+        w.metrics.bump(Ctr::TcpBadChecksum);
         return;
     }
     let repr = TcpRepr::parse(&pkt);
@@ -986,6 +994,7 @@ fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, paylo
         cost += c.bqi_demux;
     }
     host_exec(w, eng, h, cost, move |w, eng| {
+        let _attr = unp_trace::host_scope(h as u16);
         let key = (repr.dst_port, src, repr.src_port);
         let now = eng.now();
         if let Some(&cid) = w.hosts[h].conn_index.get(&key) {
@@ -1095,9 +1104,9 @@ fn udp_input(
     host_exec(w, eng, h, cost, move |w, eng| {
         use unp_proto::udp::UdpRecv;
         match w.hosts[h].udp.receive(src, dst, &payload) {
-            UdpRecv::Delivered { .. } => w.trace.bump("udp_delivered"),
+            UdpRecv::Delivered { .. } => w.metrics.bump(Ctr::UdpDelivered),
             UdpRecv::PortUnreachable => {
-                w.trace.bump("udp_unreachable");
+                w.metrics.bump(Ctr::UdpUnreachable);
                 // "In response to a packet arriving at a port without a
                 // listening socket, an ICMP destination unreachable
                 // message is generated."
@@ -1111,7 +1120,7 @@ fn udp_input(
                     send_ip_packets(w, eng, h, src, IpProtocol::Icmp, pkts);
                 });
             }
-            UdpRecv::Bad(_) => w.trace.bump("udp_bad"),
+            UdpRecv::Bad(_) => w.metrics.bump(Ctr::UdpBad),
         }
     });
 }
@@ -1127,7 +1136,7 @@ fn icmp_input_host(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, payloa
                     w.hosts[h].ip_ep.send(IpProtocol::Icmp, src, &bytes, mtu)
                 };
                 send_ip_packets(w, eng, h, src, IpProtocol::Icmp, pkts);
-                w.trace.bump("icmp_echo_replies");
+                w.metrics.bump(Ctr::IcmpEchoReplies);
             });
         }
         Ok(None) => {
@@ -1137,14 +1146,14 @@ fn icmp_input_host(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, payloa
                 .ok()
                 .map(|p| p.icmp_type())
             {
-                Some(unp_wire::IcmpType::EchoReply) => w.trace.bump("icmp_echo_reply_received"),
+                Some(unp_wire::IcmpType::EchoReply) => w.metrics.bump(Ctr::IcmpEchoReplyReceived),
                 Some(unp_wire::IcmpType::DestUnreachable(_)) => {
-                    w.trace.bump("icmp_dest_unreachable_received")
+                    w.metrics.bump(Ctr::IcmpDestUnreachableReceived)
                 }
-                _ => w.trace.bump("icmp_other"),
+                _ => w.metrics.bump(Ctr::IcmpOther),
             }
         }
-        Err(_) => w.trace.bump("icmp_bad"),
+        Err(_) => w.metrics.bump(Ctr::IcmpBad),
     }
 }
 
@@ -1191,7 +1200,7 @@ fn userlib_ip_input(
             ..
         } => {
             let demux_cost = c.demux_cost(model_path, filter_instrs);
-            w.trace.bump("ch_deliveries");
+            w.metrics.bump(Ctr::ChDeliveries);
             let signal = signal || w.ablate_batching;
             if signal {
                 let cost = demux_cost
@@ -1206,7 +1215,7 @@ fn userlib_ip_input(
                 // Batched: no interrupt taken; the running library thread
                 // will consume this frame from the ring. Only the demux
                 // machinery's bookkeeping costs.
-                w.trace.bump("ch_batched");
+                w.metrics.bump(Ctr::ChBatched);
                 w.hosts[h]
                     .cpu
                     .charge_priority(eng.now(), demux_cost + c.ring_op);
@@ -1218,13 +1227,14 @@ fn userlib_ip_input(
                 registry_tcp_input(w, eng, h, frame);
             });
         }
-        Delivery::Dropped => w.trace.bump("ch_ring_drops"),
+        Delivery::Dropped => w.metrics.bump(Ctr::ChRingDrops),
     }
 }
 
 /// The library thread wakes: consume every queued frame, run the protocol
 /// over each, deliver to the application.
 fn library_wakeup(w: &mut World, eng: &mut Eng, h: usize, chan: ChannelId) {
+    let _attr = unp_trace::host_scope(h as u16);
     // Pre-establishment hardware deliveries land here with no conn yet:
     // feed them back through the registry.
     let Some(&cid) = w.hosts[h].chan_to_conn.get(&chan) else {
@@ -1253,6 +1263,8 @@ fn library_wakeup(w: &mut World, eng: &mut Eng, h: usize, chan: ChannelId) {
         let _ = w.hosts[h].netio.end_wakeup(recv_cap);
         return;
     }
+    w.metrics
+        .sample(Hist::WakeupBatchFrames, frames.len() as u64);
     // Process the consumed batch one frame at a time, each charged
     // individually, so acknowledgments flow as segments are handled (the
     // batching amortizes only the semaphore/thread-switch, not the
@@ -1297,6 +1309,7 @@ fn library_process_chain(
     };
     let cost = tcp_seg_cost(w, len) + w.costs.library_call + w.costs.lib_upcall_sync + sw_extra;
     host_exec(w, eng, h, cost, move |w, eng| {
+        let _attr = unp_trace::host_scope(h as u16);
         let local_ip = w.hosts[h].ip;
         'one: {
             if frame.len() <= lhl {
@@ -1320,7 +1333,7 @@ fn library_process_chain(
                         ..
                     } = recv
                     else {
-                        w.trace.bump("lib_non_tcp");
+                        w.metrics.bump(Ctr::LibNonTcp);
                         break 'one;
                     };
                     (src, Frame::from_vec(payload))
@@ -1330,11 +1343,19 @@ fn library_process_chain(
                 break 'one;
             };
             if !pkt.verify_checksum(src, local_ip) {
-                w.trace.bump("tcp_bad_checksum");
+                w.metrics.bump(Ctr::TcpBadChecksum);
                 break 'one;
             }
             let repr = TcpRepr::parse(&pkt);
             let data = payload.slice(pkt.header_len(), payload.len());
+            unp_trace::emit(Some(frame.id()), || unp_trace::Event::TcpSegment {
+                dir: unp_trace::Dir::Rx,
+                local_port: repr.dst_port,
+                remote_port: repr.src_port,
+                seq: repr.seq.0,
+                payload: data.len() as u32,
+                wire: (frame.len() - lhl) as u32,
+            });
             let actions = {
                 let Some(conn) = w.hosts[h].conns.get_mut(&cid) else {
                     break 'one;
@@ -1350,10 +1371,13 @@ fn library_process_chain(
 /// Continues a wakeup that found more packets queued at the end of its
 /// batch (no new semaphore signal was posted for them).
 fn library_wakeup_continue(w: &mut World, eng: &mut Eng, h: usize, cid: u32, recv_cap: Capability) {
+    let _attr = unp_trace::host_scope(h as u16);
     if let Ok(frames) = w.hosts[h].netio.consume_batch(recv_cap) {
         if frames.is_empty() {
             let _ = w.hosts[h].netio.end_wakeup(recv_cap);
         } else {
+            w.metrics
+                .sample(Hist::WakeupBatchFrames, frames.len() as u64);
             library_process_chain(w, eng, h, cid, frames.into());
         }
     }
@@ -1390,6 +1414,7 @@ fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     // while the segment waits its turn on the CPU).
     let cost = tcp_seg_cost(w, frame.len() - lhl);
     host_exec(w, eng, h, cost, move |w, eng| {
+        let _attr = unp_trace::host_scope(h as u16);
         let key = (repr.dst_port, src, repr.src_port);
         let now = eng.now();
         // An established connection whose binding the frame missed (e.g. a
@@ -1412,7 +1437,7 @@ fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
             .any(|s| s.key == key && s.completing)
         {
             w.hosts[h].parked.entry(key).or_default().push(frame);
-            w.trace.bump("frames_parked");
+            w.metrics.bump(Ctr::FramesParked);
             return;
         }
         // Registry path (handshakes, inherited connections, strays): the
@@ -1497,10 +1522,11 @@ fn apply_registry_actions(w: &mut World, eng: &mut Eng, h: usize, actions: Vec<R
                 });
             }
             RegistryAction::Failed { hs, .. } => {
-                w.trace.bump("handshake_failures");
+                w.metrics.bump(Ctr::HandshakeFailures);
                 if let Some(setup) = w.hosts[h].hs_setup.remove(&hs.0) {
                     w.hosts[h].hs_by_chan.remove(&setup.chan.id);
                     w.hosts[h].netio.destroy_channel(setup.chan.id, OwnerTag(0));
+                    w.metrics.gauge_dec(Gauge::OpenChannels);
                 }
                 if let Some(mut app) = w.hosts[h].pending_apps.remove(&hs.0) {
                     let view = crate::app::AppView {
@@ -1562,6 +1588,7 @@ fn ensure_hs_setup(w: &mut World, h: usize, hs: HsId, repr: &TcpRepr, remote: Ip
         w.hosts[h]
             .netio
             .create_channel(owner, &spec, template, 768, mtu + lhl + 8);
+    w.metrics.gauge_inc(Gauge::OpenChannels);
     let our_bqi = match &mut w.hosts[h].nic {
         Nic::An1(nic) => nic.bqi_table.allocate(owner, ring).unwrap_or(0),
         Nic::Lance(_) => 0,
@@ -1612,7 +1639,7 @@ fn finalize_user_conn(w: &mut World, eng: &mut Eng, h: usize, hs: HsId, tcb: Tcb
     };
     let write_size = w.hosts[h].pending_write_sizes.remove(&hs.0).unwrap_or(4096);
     let cid = install_conn(w, h, tcb, app, Some(chan), write_size);
-    w.trace.bump("connections_established");
+    w.metrics.bump(Ctr::ConnectionsEstablished);
     // Frames the kernel parked while the channel was being finalized.
     if let Some(frames) = w.hosts[h].parked.remove(&setup.key) {
         let lhl = w.hosts[h].link_header_len();
@@ -1633,6 +1660,7 @@ fn finalize_user_conn(w: &mut World, eng: &mut Eng, h: usize, hs: HsId, tcb: Tcb
 /// Parses a frame and feeds it to an installed connection (parked-frame
 /// delivery path; costs already charged).
 fn deliver_frame_to_conn(w: &mut World, eng: &mut Eng, h: usize, cid: u32, frame: Frame) {
+    let _attr = unp_trace::host_scope(h as u16);
     let Some((src, repr)) = peek_tcp(w, h, &frame) else {
         return;
     };
@@ -1698,12 +1726,18 @@ fn apply_tcp_actions(w: &mut World, eng: &mut Eng, h: usize, cid: u32, actions: 
             TcpAction::DataAvailable => {
                 // Drain the receive buffer and upcall the application.
                 let now = eng.now();
-                let (data, more_actions) = {
+                let (key, (data, more_actions)) = {
                     let conn = w.hosts[h].conns.get_mut(&cid).expect("checked");
-                    conn.tcb.recv(usize::MAX, now)
+                    (conn_key(h, &conn.tcb), conn.tcb.recv(usize::MAX, now))
                 };
                 apply_tcp_actions(w, eng, h, cid, more_actions);
                 if !data.is_empty() {
+                    w.metrics.sample(Hist::AppDeliverBytes, data.len() as u64);
+                    w.metrics.conn(key).bytes_to_app += data.len() as u64;
+                    unp_trace::emit_at(h as u16, None, || unp_trace::Event::AppDeliver {
+                        conn: cid as u64,
+                        bytes: data.len() as u32,
+                    });
                     let cost = app_boundary_cost(w, h) + rx_copy_cost(w, h, data.len());
                     host_exec(w, eng, h, cost, move |w, eng| {
                         app_event(w, eng, h, cid, AppEvent::Data(data));
@@ -1726,7 +1760,7 @@ fn apply_tcp_actions(w: &mut World, eng: &mut Eng, h: usize, cid: u32, actions: 
                 });
             }
             TcpAction::Reset => {
-                w.trace.bump("connections_reset");
+                w.metrics.bump(Ctr::ConnectionsReset);
                 if let Some(conn) = w.hosts[h].conns.get_mut(&cid) {
                     let view = crate::app::AppView {
                         now: eng.now(),
@@ -1763,6 +1797,7 @@ fn emit_tcp_segment(
     announce: u16,
     send_cap: Option<Capability>,
 ) {
+    let _attr = unp_trace::host_scope(h as u16);
     let local_ip = w.hosts[h].ip;
     let mtu = w.link.params().mtu;
     let hlen = repr.header_len();
@@ -1792,10 +1827,18 @@ fn emit_tcp_segment(
             continue;
         };
         let frame = encap_link(w, h, mac, ipf, bqi, announce);
+        unp_trace::emit(Some(frame.id()), || unp_trace::Event::TcpSegment {
+            dir: unp_trace::Dir::Tx,
+            local_port: repr.src_port,
+            remote_port: repr.dst_port,
+            seq: repr.seq.0,
+            payload: payload.len() as u32,
+            wire: (frame.len() - lhl) as u32,
+        });
         // UserLibrary: the template check really runs.
         if let Some(cap) = send_cap {
             if w.hosts[h].netio.transmit(cap, &frame).is_err() {
-                w.trace.bump("tx_template_rejections");
+                w.metrics.bump(Ctr::TxTemplateRejections);
                 continue;
             }
         }
@@ -1846,7 +1889,11 @@ fn reap_conn(w: &mut World, h: usize, cid: u32) {
     }
     let key = (conn.tcb.local().1, conn.tcb.remote().0, conn.tcb.remote().1);
     host.conn_index.remove(&key);
-    if let Some(ci) = conn.chan {
+    let chan_stats = conn
+        .chan
+        .as_ref()
+        .and_then(|ci| Some((ci.id, host.netio.channel_stats(ci.id)?)));
+    if let Some(ci) = &conn.chan {
         host.chan_to_conn.remove(&ci.id);
         host.netio.destroy_channel(ci.id, OwnerTag(0));
         if let Nic::An1(nic) = &mut host.nic {
@@ -1854,7 +1901,66 @@ fn reap_conn(w: &mut World, h: usize, cid: u32) {
                 .free(ci.our_bqi, unp_buffers::BqiTable::KERNEL_OWNER);
         }
     }
-    w.trace.bump("connections_closed");
+    retire_conn_stats(w, h, &conn.tcb, chan_stats);
+    w.metrics.bump(Ctr::ConnectionsClosed);
+}
+
+/// The metrics scope key for a live connection on host `h`.
+fn conn_key(h: usize, tcb: &Tcb) -> ConnKey {
+    let (remote_ip, remote_port) = tcb.remote();
+    ConnKey {
+        host: h as u16,
+        local_port: tcb.local().1,
+        remote_ip: remote_ip.0,
+        remote_port,
+    }
+}
+
+/// Rolls a dying connection's TCP counters and (when it had a channel) the
+/// kernel channel's demux/delivery counters into the metrics scopes, and
+/// hands the channel stats to the registry server, which flags bindings
+/// that missed the flow-table fast path.
+fn retire_conn_stats(
+    w: &mut World,
+    h: usize,
+    tcb: &Tcb,
+    chan_stats: Option<(ChannelId, ChannelStats)>,
+) {
+    let key = conn_key(h, tcb);
+    let ts = tcb.stats();
+    {
+        let scope = w.metrics.conn(key);
+        scope.segs_out = ts.segs_out;
+        scope.segs_in = ts.segs_in;
+        scope.bytes_rexmit = ts.bytes_rexmit;
+        scope.rto_fires = ts.rto_fires;
+        scope.fast_rexmit = ts.fast_rexmit;
+        scope.dup_acks_in = ts.dup_acks_in;
+        scope.probes = ts.probes;
+        scope.srtt = tcb.srtt();
+    }
+    if let Some(srtt) = tcb.srtt() {
+        w.metrics.sample(Hist::ConnSrtt, srtt);
+    }
+    w.metrics.gauge_dec(Gauge::ActiveConnections);
+    if let Some((chid, cs)) = chan_stats {
+        {
+            let scope = w.metrics.conn(key);
+            scope.rx_delivered = cs.delivered;
+            scope.rx_batched = cs.batched;
+            scope.flow_hits = cs.flow_hits;
+            scope.scan_fallbacks = cs.scan_fallbacks;
+        }
+        let ch = w.metrics.channel(key.host, chid.0);
+        ch.delivered = cs.delivered;
+        ch.batched = cs.batched;
+        ch.flow_hits = cs.flow_hits;
+        ch.scan_fallbacks = cs.scan_fallbacks;
+        w.metrics.gauge_dec(Gauge::OpenChannels);
+        w.hosts[h]
+            .registry
+            .record_channel_stats(key.local_port, tcb.remote(), cs);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -2033,13 +2139,17 @@ pub fn app_exit(w: &mut World, eng: &mut Eng, host: usize, cid: u32, abnormal: b
     let Some(conn) = w.hosts[host].conns.remove(&cid) else {
         return;
     };
-    {
+    let chan_stats = {
         let hostref = &mut w.hosts[host];
         for id in conn.timer_ids.values() {
             hostref.wheel.stop(*id);
         }
         let key = (conn.tcb.local().1, conn.tcb.remote().0, conn.tcb.remote().1);
         hostref.conn_index.remove(&key);
+        let chan_stats = conn
+            .chan
+            .as_ref()
+            .and_then(|ci| Some((ci.id, hostref.netio.channel_stats(ci.id)?)));
         if let Some(ci) = &conn.chan {
             hostref.chan_to_conn.remove(&ci.id);
             hostref.netio.destroy_channel(ci.id, OwnerTag(0));
@@ -2048,7 +2158,9 @@ pub fn app_exit(w: &mut World, eng: &mut Eng, host: usize, cid: u32, abnormal: b
                     .free(ci.our_bqi, unp_buffers::BqiTable::KERNEL_OWNER);
             }
         }
-    }
+        chan_stats
+    };
+    retire_conn_stats(w, host, &conn.tcb, chan_stats);
     resched_wheel(w, eng, host);
     let owner = w.hosts[host].owner();
     // The registry's inheritance work (reset or orderly close) costs one
@@ -2060,7 +2172,7 @@ pub fn app_exit(w: &mut World, eng: &mut Eng, host: usize, cid: u32, abnormal: b
         let actions = w.hosts[host]
             .registry
             .app_exit(owner, vec![tcb], abnormal, now);
-        w.trace.bump("connections_inherited");
+        w.metrics.bump(Ctr::ConnectionsInherited);
         apply_registry_actions(w, eng, host, actions);
     });
 }
@@ -2089,6 +2201,7 @@ fn resched_wheel(w: &mut World, eng: &mut Eng, h: usize) {
 }
 
 fn wheel_fire(w: &mut World, eng: &mut Eng, h: usize) {
+    let _attr = unp_trace::host_scope(h as u16);
     w.hosts[h].wheel_event = None;
     let now = eng.now();
     let mut fired = Vec::new();
@@ -2165,7 +2278,7 @@ mod tests {
             assert_eq!(s.bytes_received, 100_000, "{org:?} lost data");
             assert!(s.peer_closed, "{org:?} missed FIN");
             assert!(!s.reset, "{org:?} reset");
-            assert_eq!(w.trace.get("tx_template_rejections"), 0);
+            assert_eq!(w.metrics.get(Ctr::TxTemplateRejections), 0);
         }
     }
 
@@ -2184,18 +2297,21 @@ mod tests {
     fn user_library_actually_uses_its_mechanisms() {
         let (w, _stats) = run_transfer(Network::Ethernet, OrgKind::UserLibrary, 200_000, 4096);
         // Frames flowed through channels, and batching happened.
-        assert!(w.trace.get("ch_deliveries") > 50);
+        assert!(w.metrics.get(Ctr::ChDeliveries) > 50);
         assert!(
             w.hosts[1].netio.default_deliveries > 0,
             "handshake via registry"
         );
-        assert_eq!(w.trace.get("tx_template_rejections"), 0);
+        assert_eq!(w.metrics.get(Ctr::TxTemplateRejections), 0);
     }
 
     #[test]
     fn an1_hardware_demux_is_used_for_data() {
         let (w, _stats) = run_transfer(Network::An1, OrgKind::UserLibrary, 200_000, 4096);
-        assert!(w.trace.get("ch_deliveries") > 50, "hardware path unused");
+        assert!(
+            w.metrics.get(Ctr::ChDeliveries) > 50,
+            "hardware path unused"
+        );
         // On AN1 the data path must not fall back to software filters:
         // deliveries arrive via BQI rings.
         if let Nic::An1(nic) = &w.hosts[1].nic {

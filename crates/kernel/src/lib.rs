@@ -39,6 +39,16 @@ use unp_filter::{CompiledDemux, Demux};
 pub use unp_sim::DemuxPath;
 use unp_wire::FlowKey;
 
+/// Maps the cost model's path enum onto the journal's (the trace crate
+/// sits below `unp-sim` and cannot import it).
+fn path_kind(path: DemuxPath) -> unp_trace::PathKind {
+    match path {
+        DemuxPath::FlowTable => unp_trace::PathKind::FlowTable,
+        DemuxPath::FilterScan => unp_trace::PathKind::FilterScan,
+        DemuxPath::Hardware => unp_trace::PathKind::Hardware,
+    }
+}
+
 /// Identifier of a delivery channel (one per connection endpoint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChannelId(pub u32);
@@ -139,6 +149,25 @@ struct Channel {
     ring_id: Option<RingId>,
     rx_delivered: u64,
     rx_batched: u64,
+    /// Software deliveries this channel received via the flow table.
+    flow_hits: u64,
+    /// Software deliveries that went through the filter scan instead.
+    scan_fallbacks: u64,
+}
+
+/// Per-channel delivery and demultiplexing counters, reported by
+/// [`NetIoModule::channel_stats`] and handed to the registry at teardown so
+/// it can flag bindings that keep missing the flow-table fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames placed into the channel's ring.
+    pub delivered: u64,
+    /// Deliveries batched behind a pending notification (no fresh signal).
+    pub batched: u64,
+    /// Software deliveries decided by the exact-match flow table.
+    pub flow_hits: u64,
+    /// Software deliveries decided by the filter scan.
+    pub scan_fallbacks: u64,
 }
 
 /// Software-demultiplexing counters, reported by
@@ -297,6 +326,8 @@ impl NetIoModule {
             ring_id: Some(ring_id),
             rx_delivered: 0,
             rx_batched: 0,
+            flow_hits: 0,
+            scan_fallbacks: 0,
         };
         self.channels.insert(id.0, ch);
         self.scan_order.push(id.0); // ascending mint order = scan order
@@ -387,10 +418,21 @@ impl NetIoModule {
             .channels
             .get(&entry.channel.0)
             .ok_or(TxError::BadCapability)?;
+        let channel = entry.channel;
         match ch.template.check(frame) {
-            Ok(()) => Ok(entry.channel),
+            Ok(()) => {
+                unp_trace::emit(None, || unp_trace::Event::TxTemplateCheck {
+                    channel: channel.0,
+                    ok: true,
+                });
+                Ok(channel)
+            }
             Err(v) => {
                 self.tx_rejections += 1;
+                unp_trace::emit(None, || unp_trace::Event::TxTemplateCheck {
+                    channel: channel.0,
+                    ok: false,
+                });
                 Err(TxError::Template(v))
             }
         }
@@ -470,6 +512,11 @@ impl NetIoModule {
             DemuxPath::FlowTable => self.demux_stats.flow_hits += 1,
             _ => self.demux_stats.scan_fallbacks += 1,
         }
+        unp_trace::emit(Some(frame.id()), || unp_trace::Event::DemuxClassify {
+            path: path_kind(path),
+            filter_instrs: instrs as u32,
+            matched: target.is_some(),
+        });
         match target {
             Some(id) => self.place(id, frame, instrs, path),
             None => {
@@ -485,7 +532,13 @@ impl NetIoModule {
     /// Hardware demultiplexing (AN1 path): the NIC already classified the
     /// frame to `ring` via its BQI table; place it directly.
     pub fn deliver_hardware(&mut self, ring: RingId, frame: &Frame) -> Delivery {
-        match self.ring_index.get(&ring).copied() {
+        let target = self.ring_index.get(&ring).copied();
+        unp_trace::emit(Some(frame.id()), || unp_trace::Event::DemuxClassify {
+            path: unp_trace::PathKind::Hardware,
+            filter_instrs: 0,
+            matched: target.is_some(),
+        });
+        match target {
             Some(id) => self.place(id, frame, 0, DemuxPath::Hardware),
             None => {
                 self.default_deliveries += 1;
@@ -511,16 +564,30 @@ impl NetIoModule {
         // Same backpressure as the shared-region model: an oversize packet
         // doesn't fit a slot, a full ring means the region is exhausted.
         if frame.len() > ch.slot_size || ch.rx_ring.len() >= ch.capacity {
+            unp_trace::emit(Some(frame.id()), || unp_trace::Event::RingDrop {
+                channel: id.0,
+            });
             return Delivery::Dropped;
         }
         ch.rx_ring.push_back(frame.clone());
         ch.rx_delivered += 1;
+        match path {
+            DemuxPath::FlowTable => ch.flow_hits += 1,
+            DemuxPath::FilterScan => ch.scan_fallbacks += 1,
+            DemuxPath::Hardware => {}
+        }
         let signal = !ch.notify_pending;
         if signal {
             ch.notify_pending = true;
         } else {
             ch.rx_batched += 1;
         }
+        let depth = ch.rx_ring.len() as u32;
+        unp_trace::emit(Some(frame.id()), || unp_trace::Event::RingEnqueue {
+            channel: id.0,
+            depth,
+            signal,
+        });
         Delivery::Channel {
             id,
             signal,
@@ -548,11 +615,17 @@ impl NetIoModule {
         if entry.right != Right::Receive {
             return Err(TxError::NoSendRight);
         }
+        let channel = entry.channel;
         let ch = self
             .channels
-            .get_mut(&entry.channel.0)
+            .get_mut(&channel.0)
             .ok_or(TxError::BadCapability)?;
-        Ok(ch.rx_ring.drain(..).collect())
+        let frames: Vec<Frame> = ch.rx_ring.drain(..).collect();
+        unp_trace::emit(None, || unp_trace::Event::WakeupBatch {
+            channel: channel.0,
+            frames: frames.len() as u32,
+        });
+        Ok(frames)
     }
 
     /// Ends a wakeup: if the ring is empty the notification flag clears
@@ -602,11 +675,14 @@ impl NetIoModule {
         }
     }
 
-    /// Per-channel delivery/batching counters: `(delivered, batched)`.
-    pub fn channel_stats(&self, id: ChannelId) -> Option<(u64, u64)> {
-        self.channels
-            .get(&id.0)
-            .map(|ch| (ch.rx_delivered, ch.rx_batched))
+    /// Per-channel delivery/demux counters, or `None` for a dead channel.
+    pub fn channel_stats(&self, id: ChannelId) -> Option<ChannelStats> {
+        self.channels.get(&id.0).map(|ch| ChannelStats {
+            delivered: ch.rx_delivered,
+            batched: ch.rx_batched,
+            flow_hits: ch.flow_hits,
+            scan_fallbacks: ch.scan_fallbacks,
+        })
     }
 
     /// Software-demultiplexing counters since construction.
@@ -733,8 +809,13 @@ mod tests {
         assert_eq!(signals, vec![true, false, false, false], "batched");
         let pkts = m.consume(recv).unwrap();
         assert_eq!(pkts.len(), 4);
-        let (delivered, batched) = m.channel_stats(id).unwrap();
-        assert_eq!((delivered, batched), (4, 3));
+        let stats = m.channel_stats(id).unwrap();
+        assert_eq!((stats.delivered, stats.batched), (4, 3));
+        assert_eq!(
+            stats.flow_hits + stats.scan_fallbacks,
+            4,
+            "every software delivery is attributed to a demux tier"
+        );
         // After consuming, the next packet signals again.
         match m.deliver_software(&frame) {
             Delivery::Channel { signal, .. } => assert!(signal),

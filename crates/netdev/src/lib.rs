@@ -153,9 +153,17 @@ impl LanceNic {
     pub fn frame_arrived(&mut self, bytes: Frame, now: Nanos) -> bool {
         if self.rx_staging.len() >= self.rx_capacity {
             self.rx_drops += 1;
+            unp_trace::emit(Some(bytes.id()), || unp_trace::Event::NicRx {
+                len: bytes.len() as u32,
+                accepted: false,
+            });
             return false;
         }
         self.rx_frames += 1;
+        unp_trace::emit(Some(bytes.id()), || unp_trace::Event::NicRx {
+            len: bytes.len() as u32,
+            accepted: true,
+        });
         self.rx_staging.push_back(StagedFrame {
             bytes,
             arrived: now,
@@ -209,6 +217,17 @@ impl An1Nic {
             .map(|f| f.bqi())
             .unwrap_or(0);
         self.bqi_table.resolve(bqi)
+    }
+
+    /// [`An1Nic::classify`] on a [`Frame`], journaling the NIC receive with
+    /// the frame's identity. The DMA engine never drops at this stage — the
+    /// ring it resolves to applies its own backpressure.
+    pub fn classify_frame(&mut self, frame: &Frame) -> unp_buffers::RingId {
+        unp_trace::emit(Some(frame.id()), || unp_trace::Event::NicRx {
+            len: frame.len() as u32,
+            accepted: true,
+        });
+        self.classify(frame.as_slice())
     }
 }
 

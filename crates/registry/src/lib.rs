@@ -34,6 +34,7 @@ use std::collections::HashMap;
 
 use unp_buffers::OwnerTag;
 use unp_filter::programs::DemuxSpec;
+use unp_kernel::ChannelStats;
 #[cfg(test)]
 use unp_tcp::State;
 use unp_tcp::{ListenTcb, Tcb, TcpAction, TcpConfig, TcpTimer};
@@ -135,6 +136,37 @@ pub enum RegistryError {
     NotFound,
 }
 
+/// A channel-stats record the hosting world hands back at teardown,
+/// identified by the connection endpoint the channel served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindingReport {
+    /// Local TCP port of the binding.
+    pub local_port: u16,
+    /// Peer address.
+    pub remote: (Ipv4Addr, u16),
+    /// The kernel's per-channel counters at teardown.
+    pub stats: ChannelStats,
+}
+
+impl BindingReport {
+    /// Deliveries the channel saw, before the threshold below applies.
+    fn software_deliveries(&self) -> u64 {
+        self.stats.flow_hits + self.stats.scan_fallbacks
+    }
+
+    /// True when the binding kept missing the flow-table fast path: enough
+    /// software traffic to judge, yet the filter scan decided most of it.
+    /// Connection setup always installs distillable (exact-match) specs,
+    /// so a flagged binding means a wildcard shadowed it or its framing
+    /// mismatched the module — worth surfacing, not silently eating the
+    /// per-packet scan cost.
+    pub fn missed_fast_path(&self) -> bool {
+        const MIN_DELIVERIES: u64 = 16;
+        self.software_deliveries() >= MIN_DELIVERIES
+            && self.stats.scan_fallbacks > self.stats.flow_hits
+    }
+}
+
 /// The registry server for TCP on one host. See module docs.
 pub struct RegistryServer {
     local_ip: Ipv4Addr,
@@ -143,6 +175,8 @@ pub struct RegistryServer {
     conns: HashMap<u64, Pending>,
     /// Index (local_port, remote_ip, remote_port) → hs.
     index: HashMap<(u16, Ipv4Addr, u16), u64>,
+    /// Channel stats handed back at connection teardown, in arrival order.
+    bindings: Vec<BindingReport>,
     next_hs: u64,
     next_iss: u32,
 }
@@ -156,6 +190,7 @@ impl RegistryServer {
             listeners: HashMap::new(),
             conns: HashMap::new(),
             index: HashMap::new(),
+            bindings: Vec::new(),
             next_hs: 1,
             // Seed the ISS from the host address so two hosts never share
             // sequence spaces (the 4.3BSD clock-driven scheme's role).
@@ -364,6 +399,36 @@ impl RegistryServer {
     /// progress plus inherited closers).
     pub fn tracked(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Records a torn-down channel's kernel counters (the "registry
+    /// handoff": the world reads [`unp_kernel::NetIoModule::channel_stats`]
+    /// just before destroying the channel and reports them here).
+    pub fn record_channel_stats(
+        &mut self,
+        local_port: u16,
+        remote: (Ipv4Addr, u16),
+        stats: ChannelStats,
+    ) {
+        self.bindings.push(BindingReport {
+            local_port,
+            remote,
+            stats,
+        });
+    }
+
+    /// All channel-stats reports received so far, in arrival order.
+    pub fn binding_reports(&self) -> &[BindingReport] {
+        &self.bindings
+    }
+
+    /// The bindings that kept missing the flow-table fast path (see
+    /// [`BindingReport::missed_fast_path`]).
+    pub fn flagged_bindings(&self) -> Vec<&BindingReport> {
+        self.bindings
+            .iter()
+            .filter(|b| b.missed_fast_path())
+            .collect()
     }
 
     /// True if `port` can be bound right now.
@@ -680,6 +745,48 @@ mod tests {
             .connect(OwnerTag(7), (IP_B, 80), TcpConfig::default(), now)
             .unwrap();
         assert!(!actions2.is_empty());
+    }
+
+    #[test]
+    fn channel_stats_handoff_flags_scan_heavy_bindings() {
+        let mut r = RegistryServer::new(IP_A);
+        // Healthy binding: the flow table decided nearly everything.
+        r.record_channel_stats(
+            80,
+            (IP_B, 5000),
+            ChannelStats {
+                delivered: 100,
+                batched: 40,
+                flow_hits: 98,
+                scan_fallbacks: 2,
+            },
+        );
+        // Scan-heavy binding with enough traffic to judge.
+        r.record_channel_stats(
+            81,
+            (IP_B, 5001),
+            ChannelStats {
+                delivered: 30,
+                batched: 5,
+                flow_hits: 3,
+                scan_fallbacks: 27,
+            },
+        );
+        // Scan-heavy but below the traffic threshold: not judged.
+        r.record_channel_stats(
+            82,
+            (IP_B, 5002),
+            ChannelStats {
+                delivered: 4,
+                batched: 0,
+                flow_hits: 0,
+                scan_fallbacks: 4,
+            },
+        );
+        assert_eq!(r.binding_reports().len(), 3);
+        let flagged = r.flagged_bindings();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].local_port, 81);
     }
 
     #[test]

@@ -15,11 +15,9 @@
 
 pub mod costs;
 pub mod cpu;
-pub mod trace;
 
 pub use costs::{CostModel, DemuxPath, LinkParams};
 pub use cpu::Cpu;
-pub use trace::Trace;
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -167,6 +165,7 @@ impl<W> Engine<W> {
         while let Some(Reverse((time, id))) = self.heap.pop() {
             if let Some(f) = self.pending.remove(&id) {
                 self.now = time;
+                unp_trace::set_time(time);
                 self.executed += 1;
                 EVENTS_EXECUTED.with(|c| c.set(c.get() + 1));
                 f(world, self);
@@ -214,6 +213,7 @@ impl<W> Engine<W> {
             }
         }
         self.now = self.now.max(deadline);
+        unp_trace::set_time(self.now);
     }
 }
 

@@ -698,6 +698,11 @@ impl Tcb {
             let len = self.send_buf.len().min(self.snd_mss);
             let payload: Vec<u8> = self.send_buf.iter().take(len).copied().collect();
             self.stats.bytes_rexmit += len as u64;
+            unp_trace::emit(None, || unp_trace::Event::TcpRexmit {
+                local_port: self.local.1,
+                remote_port: self.remote.1,
+                bytes: len as u32,
+            });
             let seq = self.snd_una;
             // The buffer may hold not-yet-sent bytes (e.g. a window- or
             // cwnd-limited tail); if this retransmission carries them,
@@ -1057,8 +1062,14 @@ impl Tcb {
         // RTT sample if our probe segment is covered.
         if let Some((probe_seq, sent_at)) = self.rtt_probe {
             if ack.ge(probe_seq) {
-                self.rtt.sample(now.saturating_sub(sent_at));
+                let rtt = now.saturating_sub(sent_at);
+                self.rtt.sample(rtt);
                 self.rtt_probe = None;
+                unp_trace::emit(None, || unp_trace::Event::RttSample {
+                    local_port: self.local.1,
+                    remote_port: self.remote.1,
+                    rtt,
+                });
             }
         }
         // Congestion window growth.
@@ -1135,6 +1146,12 @@ impl Tcb {
             let take = payload.len().min(room);
             if take > 0 {
                 self.ooo.insert(self.rcv_nxt, seq, &payload[..take]);
+                unp_trace::emit(None, || unp_trace::Event::TcpOooHold {
+                    local_port: self.local.1,
+                    remote_port: self.remote.1,
+                    seq: seq.0,
+                    len: take as u32,
+                });
             }
             self.emit_ack(out);
             return;

@@ -1,0 +1,578 @@
+//! `unp-trace` — observability substrate for the user-level protocol stack.
+//!
+//! Two halves, both deterministic:
+//!
+//! * **The event journal**: span-style packet-lifecycle records
+//!   (`ring_enqueue`, `demux_classify`, `wakeup_batch`, `tcp_segment`,
+//!   `app_deliver`, `tx_template_check`, …) carrying the simulated-time
+//!   timestamp, the emitting host, and the frame id, so one frame's journey
+//!   from NIC staging to application delivery can be reconstructed by
+//!   joining on its id. Emission points live in every layer (`netdev`,
+//!   `kernel`, `tcp`, `core`); none of them charges simulated cost or
+//!   schedules events, so journaling can never perturb reproduced results.
+//! * **The typed metrics registry** ([`Metrics`]): counters, gauges, and
+//!   nearest-rank histograms behind enum keys instead of strings, plus
+//!   per-connection and per-channel scopes that absorb the stack's
+//!   scattered stats structs at teardown.
+//!
+//! # Zero-overhead disabled mode
+//!
+//! The journal is double-gated. The `journal` cargo feature compiles the
+//! machinery in; without it `emit` is an empty inline function and the
+//! event-construction closure is never even type-checked against a live
+//! sink. With the feature on, the runtime gate is a thread-local flag set
+//! by [`journal_start`]: a quiescent emission point costs one flag read,
+//! and the closure building the event runs only while a journal is
+//! recording. `repro-tables` golden output is byte-identical in all three
+//! states (feature off / feature on / journal recording) because emission
+//! is observation-only.
+//!
+//! # Determinism
+//!
+//! The simulation is single-threaded and deterministic, so the journal is
+//! too: [`journal_start`] zeroes the frame-id mint and the sim clock, and
+//! two identical runs produce byte-identical journals (asserted by the
+//! workspace's `tests/journal.rs`).
+
+pub mod metrics;
+
+pub use metrics::{ChannelScope, ConnKey, ConnScope, Ctr, Gauge, Hist, Metrics};
+
+/// Simulated time in nanoseconds (mirrors `unp_sim::Nanos`; this crate
+/// sits below the engine and cannot import it).
+pub type Nanos = u64;
+
+/// Which demultiplexing tier handled a frame, as recorded in the journal.
+/// Mirrors `unp_sim::DemuxPath` (same three arms; this crate is a
+/// dependency of `unp-sim`, so the kernel maps between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Exact-match flow-table hit.
+    FlowTable,
+    /// Linear scan over the compiled filters.
+    FilterScan,
+    /// AN1 hardware BQI classification.
+    Hardware,
+}
+
+impl PathKind {
+    fn label(self) -> &'static str {
+        match self {
+            PathKind::FlowTable => "flow",
+            PathKind::FilterScan => "scan",
+            PathKind::Hardware => "hw",
+        }
+    }
+}
+
+/// Direction of a TCP segment relative to the emitting host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Segment received from the wire.
+    Rx,
+    /// Segment built for transmission.
+    Tx,
+}
+
+impl Dir {
+    fn label(self) -> &'static str {
+        match self {
+            Dir::Rx => "rx",
+            Dir::Tx => "tx",
+        }
+    }
+}
+
+/// One packet-lifecycle event. Every variant is observation-only: emitting
+/// it charges no simulated cost and schedules nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A frame entered NIC receive staging (Lance) or was classified by
+    /// the controller (AN1). `accepted == false` means staging overflowed
+    /// and the frame was dropped on the floor.
+    NicRx { len: u32, accepted: bool },
+    /// A frame was put on the wire.
+    NicTx { len: u32 },
+    /// The network I/O module classified a frame. `matched == false`
+    /// means no channel binding claimed it (kernel-default path).
+    /// `filter_instrs` is the scan-equivalent instruction count the cost
+    /// model charges.
+    DemuxClassify {
+        path: PathKind,
+        filter_instrs: u32,
+        matched: bool,
+    },
+    /// A frame was placed into a channel's receive ring. `depth` is the
+    /// ring occupancy after the push; `signal` is true when a semaphore
+    /// was posted (false = batched behind a pending notification).
+    RingEnqueue {
+        channel: u32,
+        depth: u32,
+        signal: bool,
+    },
+    /// A frame was dropped at ring placement (oversize or ring full).
+    RingDrop { channel: u32 },
+    /// A library wakeup consumed a batch of frames from a channel ring.
+    WakeupBatch { channel: u32, frames: u32 },
+    /// The protocol library processed (rx) or built (tx) one TCP segment.
+    TcpSegment {
+        dir: Dir,
+        local_port: u16,
+        remote_port: u16,
+        seq: u32,
+        payload: u32,
+        /// Bytes the segment occupies past the link header (IP + TCP +
+        /// payload) — what the modeled per-segment cost is keyed on.
+        wire: u32,
+    },
+    /// The TCP RTT estimator took a sample.
+    RttSample {
+        local_port: u16,
+        remote_port: u16,
+        rtt: Nanos,
+    },
+    /// TCP retransmitted bytes (RTO fire or fast retransmit).
+    TcpRexmit {
+        local_port: u16,
+        remote_port: u16,
+        bytes: u32,
+    },
+    /// An out-of-order segment was held in the reassembly buffer.
+    TcpOooHold {
+        local_port: u16,
+        remote_port: u16,
+        seq: u32,
+        len: u32,
+    },
+    /// Received bytes crossed the final boundary into the application.
+    AppDeliver { conn: u64, bytes: u32 },
+    /// The kernel ran the capability/template check on a transmit.
+    TxTemplateCheck { channel: u32, ok: bool },
+}
+
+impl Event {
+    /// The event's journal keyword (first token of [`Record::line`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::NicRx { .. } => "nic_rx",
+            Event::NicTx { .. } => "nic_tx",
+            Event::DemuxClassify { .. } => "demux_classify",
+            Event::RingEnqueue { .. } => "ring_enqueue",
+            Event::RingDrop { .. } => "ring_drop",
+            Event::WakeupBatch { .. } => "wakeup_batch",
+            Event::TcpSegment { .. } => "tcp_segment",
+            Event::RttSample { .. } => "rtt_sample",
+            Event::TcpRexmit { .. } => "tcp_rexmit",
+            Event::TcpOooHold { .. } => "tcp_ooo_hold",
+            Event::AppDeliver { .. } => "app_deliver",
+            Event::TxTemplateCheck { .. } => "tx_template_check",
+        }
+    }
+
+    fn fields(&self) -> String {
+        match self {
+            Event::NicRx { len, accepted } => format!("len={len} accepted={accepted}"),
+            Event::NicTx { len } => format!("len={len}"),
+            Event::DemuxClassify {
+                path,
+                filter_instrs,
+                matched,
+            } => format!(
+                "path={} instrs={filter_instrs} matched={matched}",
+                path.label()
+            ),
+            Event::RingEnqueue {
+                channel,
+                depth,
+                signal,
+            } => format!("ch={channel} depth={depth} signal={signal}"),
+            Event::RingDrop { channel } => format!("ch={channel}"),
+            Event::WakeupBatch { channel, frames } => format!("ch={channel} frames={frames}"),
+            Event::TcpSegment {
+                dir,
+                local_port,
+                remote_port,
+                seq,
+                payload,
+                wire,
+            } => format!(
+                "dir={} lp={local_port} rp={remote_port} seq={seq} payload={payload} wire={wire}",
+                dir.label()
+            ),
+            Event::RttSample {
+                local_port,
+                remote_port,
+                rtt,
+            } => format!("lp={local_port} rp={remote_port} rtt={rtt}"),
+            Event::TcpRexmit {
+                local_port,
+                remote_port,
+                bytes,
+            } => format!("lp={local_port} rp={remote_port} bytes={bytes}"),
+            Event::TcpOooHold {
+                local_port,
+                remote_port,
+                seq,
+                len,
+            } => format!("lp={local_port} rp={remote_port} seq={seq} len={len}"),
+            Event::AppDeliver { conn, bytes } => format!("conn={conn} bytes={bytes}"),
+            Event::TxTemplateCheck { channel, ok } => format!("ch={channel} ok={ok}"),
+        }
+    }
+}
+
+/// One journal entry: an [`Event`] plus when, where, and (when known)
+/// which frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Simulated time of emission (the engine clock, not wall time).
+    pub time: Nanos,
+    /// Emitting host index, when the emission site knows it.
+    pub host: Option<u16>,
+    /// Frame id ([`next_frame_id`] mint), when a single frame is in hand.
+    pub frame: Option<u64>,
+    /// What happened.
+    pub event: Event,
+}
+
+impl Record {
+    /// Canonical single-line text form. This is the byte-identity surface
+    /// for determinism tests: `{time} h{host} f{frame} {name} {fields}`
+    /// with `-` for absent host/frame.
+    pub fn line(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str(&self.time.to_string());
+        s.push_str(" h");
+        match self.host {
+            Some(h) => s.push_str(&h.to_string()),
+            None => s.push('-'),
+        }
+        s.push_str(" f");
+        match self.frame {
+            Some(f) => s.push_str(&f.to_string()),
+            None => s.push('-'),
+        }
+        s.push(' ');
+        s.push_str(self.event.name());
+        s.push(' ');
+        s.push_str(&self.event.fields());
+        s
+    }
+}
+
+/// Renders a whole journal as newline-terminated canonical lines.
+pub fn render(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(feature = "journal")]
+mod active {
+    use super::{Event, Nanos, Record};
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        static RECORDING: Cell<bool> = const { Cell::new(false) };
+        static CLOCK: Cell<Nanos> = const { Cell::new(0) };
+        static HOST: Cell<Option<u16>> = const { Cell::new(None) };
+        static NEXT_FRAME: Cell<u64> = const { Cell::new(0) };
+        static JOURNAL: RefCell<Vec<Record>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Starts recording: clears the journal, zeroes the frame-id mint and
+    /// the clock. Build the world *after* calling this so two identical
+    /// runs mint identical frame ids.
+    pub fn journal_start() {
+        JOURNAL.with(|j| j.borrow_mut().clear());
+        NEXT_FRAME.with(|c| c.set(0));
+        CLOCK.with(|c| c.set(0));
+        HOST.with(|c| c.set(None));
+        RECORDING.with(|c| c.set(true));
+    }
+
+    /// Stops recording and drains the journal.
+    pub fn journal_stop() -> Vec<Record> {
+        RECORDING.with(|c| c.set(false));
+        JOURNAL.with(|j| std::mem::take(&mut *j.borrow_mut()))
+    }
+
+    /// Whether a journal is currently recording on this thread.
+    #[inline]
+    pub fn journal_enabled() -> bool {
+        RECORDING.with(|c| c.get())
+    }
+
+    /// Emits an event attributed to the thread's current host scope. The
+    /// closure runs only while a journal is recording.
+    #[inline]
+    pub fn emit(frame: Option<u64>, make: impl FnOnce() -> Event) {
+        if !journal_enabled() {
+            return;
+        }
+        let rec = Record {
+            time: CLOCK.with(|c| c.get()),
+            host: HOST.with(|c| c.get()),
+            frame,
+            event: make(),
+        };
+        JOURNAL.with(|j| j.borrow_mut().push(rec));
+    }
+
+    /// Emits an event with an explicit host (world-level emission sites
+    /// know their host index directly).
+    #[inline]
+    pub fn emit_at(host: u16, frame: Option<u64>, make: impl FnOnce() -> Event) {
+        if !journal_enabled() {
+            return;
+        }
+        let rec = Record {
+            time: CLOCK.with(|c| c.get()),
+            host: Some(host),
+            frame,
+            event: make(),
+        };
+        JOURNAL.with(|j| j.borrow_mut().push(rec));
+    }
+
+    /// Sets the journal clock; called by the simulation engine as it
+    /// advances virtual time.
+    #[inline]
+    pub fn set_time(t: Nanos) {
+        CLOCK.with(|c| c.set(t));
+    }
+
+    /// The journal clock's current reading.
+    #[inline]
+    pub fn time() -> Nanos {
+        CLOCK.with(|c| c.get())
+    }
+
+    /// Mints a fresh frame id. Stamped on every `Frame` at creation;
+    /// clones and slices share their parent's id.
+    #[inline]
+    pub fn next_frame_id() -> u64 {
+        NEXT_FRAME.with(|c| {
+            let id = c.get();
+            c.set(id + 1);
+            id
+        })
+    }
+
+    /// Scope guard attributing emissions from layers that don't know
+    /// their host (kernel, tcp) to host `h`. Restores the previous scope
+    /// on drop.
+    pub struct HostScope {
+        prev: Option<u16>,
+    }
+
+    /// Enters a host attribution scope.
+    pub fn host_scope(h: u16) -> HostScope {
+        let prev = HOST.with(|c| c.replace(Some(h)));
+        HostScope { prev }
+    }
+
+    impl Drop for HostScope {
+        fn drop(&mut self) {
+            let prev = self.prev;
+            HOST.with(|c| c.set(prev));
+        }
+    }
+}
+
+#[cfg(feature = "journal")]
+pub use active::{
+    emit, emit_at, host_scope, journal_enabled, journal_start, journal_stop, next_frame_id,
+    set_time, time, HostScope,
+};
+
+#[cfg(not(feature = "journal"))]
+mod inert {
+    use super::{Event, Nanos, Record};
+
+    /// No-op (journal feature off).
+    #[inline(always)]
+    pub fn journal_start() {}
+
+    /// No-op (journal feature off): always empty.
+    #[inline(always)]
+    pub fn journal_stop() -> Vec<Record> {
+        Vec::new()
+    }
+
+    /// Always false (journal feature off).
+    #[inline(always)]
+    pub fn journal_enabled() -> bool {
+        false
+    }
+
+    /// No-op (journal feature off): the closure is never called.
+    #[inline(always)]
+    pub fn emit(_frame: Option<u64>, _make: impl FnOnce() -> Event) {}
+
+    /// No-op (journal feature off): the closure is never called.
+    #[inline(always)]
+    pub fn emit_at(_host: u16, _frame: Option<u64>, _make: impl FnOnce() -> Event) {}
+
+    /// No-op (journal feature off).
+    #[inline(always)]
+    pub fn set_time(_t: Nanos) {}
+
+    /// Always zero (journal feature off).
+    #[inline(always)]
+    pub fn time() -> Nanos {
+        0
+    }
+
+    /// Always zero (journal feature off): frames share one inert id.
+    #[inline(always)]
+    pub fn next_frame_id() -> u64 {
+        0
+    }
+
+    /// Inert scope guard (journal feature off).
+    pub struct HostScope;
+
+    /// No-op (journal feature off).
+    #[inline(always)]
+    pub fn host_scope(_h: u16) -> HostScope {
+        HostScope
+    }
+}
+
+#[cfg(not(feature = "journal"))]
+pub use inert::{
+    emit, emit_at, host_scope, journal_enabled, journal_start, journal_stop, next_frame_id,
+    set_time, time, HostScope,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_line_is_canonical() {
+        let r = Record {
+            time: 12345,
+            host: Some(1),
+            frame: Some(7),
+            event: Event::RingEnqueue {
+                channel: 3,
+                depth: 2,
+                signal: true,
+            },
+        };
+        assert_eq!(
+            r.line(),
+            "12345 h1 f7 ring_enqueue ch=3 depth=2 signal=true"
+        );
+        let r = Record {
+            time: 0,
+            host: None,
+            frame: None,
+            event: Event::WakeupBatch {
+                channel: 3,
+                frames: 4,
+            },
+        };
+        assert_eq!(r.line(), "0 h- f- wakeup_batch ch=3 frames=4");
+    }
+
+    #[cfg(feature = "journal")]
+    #[test]
+    fn journal_records_between_start_and_stop() {
+        // Quiescent: emissions vanish and the closure never runs.
+        let mut built = 0u32;
+        emit(None, || {
+            built += 1;
+            Event::NicTx { len: 60 }
+        });
+        assert_eq!(built, 0);
+        assert!(!journal_enabled());
+
+        journal_start();
+        assert!(journal_enabled());
+        set_time(500);
+        let f = next_frame_id();
+        assert_eq!(f, 0);
+        {
+            let _g = host_scope(2);
+            emit(Some(f), || Event::NicRx {
+                len: 64,
+                accepted: true,
+            });
+        }
+        emit_at(0, None, || Event::NicTx { len: 64 });
+        // Host scope restored after the guard dropped.
+        emit(None, || Event::NicTx { len: 1 });
+        let j = journal_stop();
+        assert!(!journal_enabled());
+        assert_eq!(j.len(), 3);
+        assert_eq!(j[0].line(), "500 h2 f0 nic_rx len=64 accepted=true");
+        assert_eq!(j[1].line(), "500 h0 f- nic_tx len=64");
+        assert_eq!(j[2].line(), "500 h- f- nic_tx len=1");
+        // Restarting zeroes the mint.
+        journal_start();
+        assert_eq!(next_frame_id(), 0);
+        assert_eq!(next_frame_id(), 1);
+        let _ = journal_stop();
+    }
+
+    #[cfg(feature = "journal")]
+    #[test]
+    fn host_scopes_nest() {
+        journal_start();
+        {
+            let _a = host_scope(1);
+            {
+                let _b = host_scope(2);
+                emit(None, || Event::NicTx { len: 1 });
+            }
+            emit(None, || Event::NicTx { len: 2 });
+        }
+        let j = journal_stop();
+        assert_eq!(j[0].host, Some(2));
+        assert_eq!(j[1].host, Some(1));
+    }
+
+    #[cfg(not(feature = "journal"))]
+    #[test]
+    fn inert_mode_is_inert() {
+        journal_start();
+        assert!(!journal_enabled());
+        let mut built = 0u32;
+        emit(Some(1), || {
+            built += 1;
+            Event::NicTx { len: 60 }
+        });
+        assert_eq!(built, 0, "closure must not run with the feature off");
+        assert_eq!(next_frame_id(), 0);
+        assert_eq!(next_frame_id(), 0);
+        assert!(journal_stop().is_empty());
+    }
+
+    #[test]
+    fn render_joins_lines() {
+        let recs = vec![
+            Record {
+                time: 1,
+                host: None,
+                frame: None,
+                event: Event::NicTx { len: 5 },
+            },
+            Record {
+                time: 2,
+                host: None,
+                frame: None,
+                event: Event::RingDrop { channel: 9 },
+            },
+        ];
+        assert_eq!(
+            render(&recs),
+            "1 h- f- nic_tx len=5\n2 h- f- ring_drop ch=9\n"
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! The typed metrics registry: counters, gauges, and nearest-rank
+//! histograms keyed by enums, plus per-connection and per-channel scopes.
+//!
+//! Replaces the stringly `Trace` that `core::world` carried: a counter
+//! bump is now an array index instead of a `BTreeMap<&str, _>` probe, a
+//! typo is a compile error instead of a silently fresh counter, and the
+//! scattered per-subsystem stats structs (`TcpStats`, the kernel's
+//! per-channel counters) are absorbed into [`ConnScope`]s at connection
+//! teardown so post-run reports see one registry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Nanos;
+
+macro_rules! metric_enum {
+    ($(#[$meta:meta])* $name:ident { $($(#[$vmeta:meta])* $variant:ident => $label:literal,)* }) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        #[repr(usize)]
+        pub enum $name {
+            $($(#[$vmeta])* $variant,)*
+        }
+
+        impl $name {
+            /// Every variant, in declaration order (the storage order).
+            pub const ALL: &'static [$name] = &[$($name::$variant,)*];
+
+            /// The metric's stable report name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $label,)*
+                }
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// Whole-world event counters (the former string keys, verbatim).
+    Ctr {
+        /// Deliveries batched behind a pending channel notification.
+        ChBatched => "ch_batched",
+        /// Frames delivered into connection channels.
+        ChDeliveries => "ch_deliveries",
+        /// Frames dropped because a channel ring was full or slots too small.
+        ChRingDrops => "ch_ring_drops",
+        /// Connections that closed normally.
+        ConnectionsClosed => "connections_closed",
+        /// Connections that completed establishment.
+        ConnectionsEstablished => "connections_established",
+        /// Connections handed to the registry by an exiting application.
+        ConnectionsInherited => "connections_inherited",
+        /// Connections torn down by RST.
+        ConnectionsReset => "connections_reset",
+        /// Frames parked while a channel finalization was in flight.
+        FramesParked => "frames_parked",
+        /// Frames received from the wire (pre-NIC-staging).
+        FramesReceived => "frames_received",
+        /// Frames put on the wire.
+        FramesSent => "frames_sent",
+        /// Handshakes that failed (timeout or RST).
+        HandshakeFailures => "handshake_failures",
+        /// ICMP parse failures.
+        IcmpBad => "icmp_bad",
+        /// ICMP destination-unreachable errors received.
+        IcmpDestUnreachableReceived => "icmp_dest_unreachable_received",
+        /// Echo replies we generated.
+        IcmpEchoReplies => "icmp_echo_replies",
+        /// Echo replies to our own pings.
+        IcmpEchoReplyReceived => "icmp_echo_reply_received",
+        /// Other ICMP traffic.
+        IcmpOther => "icmp_other",
+        /// IP datagrams that failed validation.
+        IpBad => "ip_bad",
+        /// Fragments held for reassembly.
+        IpFragmentsHeld => "ip_fragments_held",
+        /// IP datagrams addressed elsewhere.
+        IpNotForUs => "ip_not_for_us",
+        /// Complete datagrams for protocols we don't run.
+        IpUnknownProto => "ip_unknown_proto",
+        /// Non-TCP frames that reached the library input path.
+        LibNonTcp => "lib_non_tcp",
+        /// Frames dropped at NIC staging overflow.
+        NicDrops => "nic_drops",
+        /// TCP segments discarded for bad checksums.
+        TcpBadChecksum => "tcp_bad_checksum",
+        /// TCP segments too short to parse.
+        TcpMalformed => "tcp_malformed",
+        /// Transmissions rejected by the template check.
+        TxTemplateRejections => "tx_template_rejections",
+        /// UDP datagrams that failed validation.
+        UdpBad => "udp_bad",
+        /// UDP datagrams delivered to a bound port.
+        UdpDelivered => "udp_delivered",
+        /// UDP datagrams to unbound ports (ICMP unreachable generated).
+        UdpUnreachable => "udp_unreachable",
+        /// Frames with an ethertype nobody handles.
+        UnknownEthertype => "unknown_ethertype",
+    }
+}
+
+metric_enum! {
+    /// Instantaneous levels.
+    Gauge {
+        /// Established connections currently alive.
+        ActiveConnections => "active_connections",
+        /// Kernel channels currently created (handshake + established).
+        OpenChannels => "open_channels",
+    }
+}
+
+metric_enum! {
+    /// Sample distributions (values in the unit each variant documents).
+    Hist {
+        /// Bytes handed to an application per delivery upcall.
+        AppDeliverBytes => "app_deliver_bytes",
+        /// A connection's final smoothed RTT at teardown, nanoseconds.
+        ConnSrtt => "conn_srtt_ns",
+        /// Frames consumed per library wakeup (the notification-batching
+        /// win: >1 means one semaphore covered several packets).
+        WakeupBatchFrames => "wakeup_batch_frames",
+    }
+}
+
+/// Identity of a connection endpoint for scope keys and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConnKey {
+    /// Host index.
+    pub host: u16,
+    /// Local TCP port.
+    pub local_port: u16,
+    /// Remote IPv4 address octets.
+    pub remote_ip: [u8; 4],
+    /// Remote TCP port.
+    pub remote_port: u16,
+}
+
+impl fmt::Display for ConnKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.remote_ip;
+        write!(
+            f,
+            "h{}:{} <-> {}.{}.{}.{}:{}",
+            self.host, self.local_port, a, b, c, d, self.remote_port
+        )
+    }
+}
+
+/// Per-connection roll-up: the TCP machine's counters plus the kernel
+/// channel's delivery/demux counters, recorded into the registry when the
+/// connection (or its owning application) goes away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnScope {
+    /// Segments sent (including retransmissions).
+    pub segs_out: u64,
+    /// Acceptable segments processed.
+    pub segs_in: u64,
+    /// Bytes retransmitted.
+    pub bytes_rexmit: u64,
+    /// Retransmission-timeout fires.
+    pub rto_fires: u64,
+    /// Fast retransmits triggered by duplicate ACKs.
+    pub fast_rexmit: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks_in: u64,
+    /// Zero-window probes sent.
+    pub probes: u64,
+    /// Final smoothed RTT, when the estimator had samples.
+    pub srtt: Option<Nanos>,
+    /// Frames the kernel delivered into this connection's ring.
+    pub rx_delivered: u64,
+    /// Deliveries that batched behind a pending notification.
+    pub rx_batched: u64,
+    /// Software deliveries that hit the exact-match flow table.
+    pub flow_hits: u64,
+    /// Software deliveries that fell back to the filter scan.
+    pub scan_fallbacks: u64,
+    /// Bytes delivered to the application.
+    pub bytes_to_app: u64,
+}
+
+/// Per-channel demux/delivery roll-up, keyed by `(host, raw channel id)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelScope {
+    /// Frames placed into the ring.
+    pub delivered: u64,
+    /// Deliveries that batched behind a pending notification.
+    pub batched: u64,
+    /// Flow-table hits.
+    pub flow_hits: u64,
+    /// Filter-scan fallbacks.
+    pub scan_fallbacks: u64,
+}
+
+/// The registry: typed counters/gauges/histograms plus scopes. Owned by
+/// the world (one per simulation), not global — parallel test worlds
+/// can't bleed into each other.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    counters: Vec<u64>,
+    gauges: Vec<u64>,
+    hists: Vec<Vec<u64>>,
+    conns: BTreeMap<ConnKey, ConnScope>,
+    channels: BTreeMap<(u16, u32), ChannelScope>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics {
+            counters: vec![0; Ctr::ALL.len()],
+            gauges: vec![0; Gauge::ALL.len()],
+            hists: vec![Vec::new(); Hist::ALL.len()],
+            conns: BTreeMap::new(),
+            channels: BTreeMap::new(),
+        }
+    }
+
+    // ---- counters ----
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, c: Ctr, n: u64) {
+        self.counters[c as usize] += n;
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn bump(&mut self, c: Ctr) {
+        self.add(c, 1);
+    }
+
+    /// Reads a counter.
+    #[inline]
+    pub fn get(&self, c: Ctr) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Iterates the counters that have been touched, in name order (the
+    /// declaration order is alphabetical by label).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Ctr::ALL
+            .iter()
+            .map(|&c| (c.name(), self.get(c)))
+            .filter(|&(_, v)| v != 0)
+    }
+
+    // ---- gauges ----
+
+    /// Raises a gauge.
+    #[inline]
+    pub fn gauge_inc(&mut self, g: Gauge) {
+        self.gauges[g as usize] += 1;
+    }
+
+    /// Lowers a gauge (saturating at zero).
+    #[inline]
+    pub fn gauge_dec(&mut self, g: Gauge) {
+        let v = &mut self.gauges[g as usize];
+        *v = v.saturating_sub(1);
+    }
+
+    /// Reads a gauge.
+    #[inline]
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    // ---- histograms ----
+
+    /// Records a sample.
+    #[inline]
+    pub fn sample(&mut self, h: Hist, v: u64) {
+        self.hists[h as usize].push(v);
+    }
+
+    /// All samples recorded under `h`, in recording order.
+    pub fn samples(&self, h: Hist) -> &[u64] {
+        &self.hists[h as usize]
+    }
+
+    /// Mean of the samples under `h`, or `None` if there are none.
+    pub fn mean(&self, h: Hist) -> Option<f64> {
+        let s = self.samples(h);
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64)
+        }
+    }
+
+    /// The `p`-quantile (0.0..=1.0) of samples under `h` by nearest rank,
+    /// or `None` if there are none.
+    pub fn quantile(&self, h: Hist, p: f64) -> Option<u64> {
+        let mut s = self.samples(h).to_vec();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_unstable();
+        let idx = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+        Some(s[idx])
+    }
+
+    // ---- scopes ----
+
+    /// The scope for connection `key`, created empty on first touch.
+    pub fn conn(&mut self, key: ConnKey) -> &mut ConnScope {
+        self.conns.entry(key).or_default()
+    }
+
+    /// Iterates recorded connection scopes in key order.
+    pub fn conns(&self) -> impl Iterator<Item = (&ConnKey, &ConnScope)> + '_ {
+        self.conns.iter()
+    }
+
+    /// The scope for channel `id` on `host`, created empty on first touch.
+    pub fn channel(&mut self, host: u16, id: u32) -> &mut ChannelScope {
+        self.channels.entry((host, id)).or_default()
+    }
+
+    /// Iterates recorded channel scopes in `(host, id)` order.
+    pub fn channels(&self) -> impl Iterator<Item = (&(u16, u32), &ChannelScope)> + '_ {
+        self.channels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_typed_and_cheap() {
+        let mut m = Metrics::new();
+        m.bump(Ctr::FramesSent);
+        m.add(Ctr::FramesSent, 4);
+        assert_eq!(m.get(Ctr::FramesSent), 5);
+        assert_eq!(m.get(Ctr::FramesReceived), 0);
+        let touched: Vec<_> = m.counters().collect();
+        assert_eq!(touched, vec![("frames_sent", 5)]);
+    }
+
+    #[test]
+    fn counter_labels_are_sorted_and_unique() {
+        // `counters()` reports in declaration order; keep that order
+        // alphabetical so reports read like the old BTreeMap output.
+        let names: Vec<_> = Ctr::ALL.iter().map(|c| c.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "declare Ctr variants in label order");
+    }
+
+    #[test]
+    fn gauges_saturate() {
+        let mut m = Metrics::new();
+        m.gauge_dec(Gauge::ActiveConnections);
+        assert_eq!(m.gauge(Gauge::ActiveConnections), 0);
+        m.gauge_inc(Gauge::ActiveConnections);
+        m.gauge_inc(Gauge::ActiveConnections);
+        m.gauge_dec(Gauge::ActiveConnections);
+        assert_eq!(m.gauge(Gauge::ActiveConnections), 1);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let mut m = Metrics::new();
+        for v in [10, 20, 30, 40] {
+            m.sample(Hist::ConnSrtt, v);
+        }
+        assert_eq!(m.mean(Hist::ConnSrtt), Some(25.0));
+        assert_eq!(m.quantile(Hist::ConnSrtt, 0.5), Some(20));
+        assert_eq!(m.quantile(Hist::ConnSrtt, 1.0), Some(40));
+        assert_eq!(m.quantile(Hist::ConnSrtt, 0.0), Some(10));
+        assert_eq!(m.mean(Hist::WakeupBatchFrames), None);
+        assert_eq!(m.quantile(Hist::WakeupBatchFrames, 0.5), None);
+    }
+
+    #[test]
+    fn scopes_accumulate_by_key() {
+        let mut m = Metrics::new();
+        let key = ConnKey {
+            host: 0,
+            local_port: 2000,
+            remote_ip: [10, 0, 0, 2],
+            remote_port: 80,
+        };
+        m.conn(key).segs_out += 3;
+        m.conn(key).segs_out += 2;
+        assert_eq!(m.conns().count(), 1);
+        assert_eq!(m.conn(key).segs_out, 5);
+        assert_eq!(key.to_string(), "h0:2000 <-> 10.0.0.2:80");
+
+        m.channel(1, 7).delivered += 9;
+        assert_eq!(m.channels().next().unwrap().1.delivered, 9);
+    }
+}

@@ -93,7 +93,7 @@ fn main() {
 
     println!();
     println!("-- world counters --");
-    for (name, v) in world.trace.counters() {
+    for (name, v) in world.metrics.counters() {
         println!("  {name:<28} {v}");
     }
     assert!(!reply.borrow().is_empty(), "should have received a reply");

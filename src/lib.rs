@@ -22,6 +22,7 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`wire`] | Ethernet/AN1/ARP/IPv4/ICMP/UDP/TCP wire formats |
+//! | [`trace`] | packet-lifecycle event journal + typed metrics registry |
 //! | [`sim`] | deterministic discrete-event engine + 1993 cost model |
 //! | [`timers`] | hierarchical timing wheel (+ sorted-list baseline) |
 //! | [`filter`] | CSPF + BPF packet-filter VMs + compiled demux |
@@ -70,4 +71,5 @@ pub use unp_registry as registry;
 pub use unp_sim as sim;
 pub use unp_tcp as tcp;
 pub use unp_timers as timers;
+pub use unp_trace as trace;
 pub use unp_wire as wire;

@@ -14,6 +14,7 @@ use unp::core::world::{
     bind_udp, build_two_hosts, connect, listen, send_ping, send_udp, Network, OrgKind, World,
 };
 use unp::tcp::TcpConfig;
+use unp::trace::Ctr;
 use unp::wire::Ipv4Addr;
 
 const SERVER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
@@ -127,7 +128,7 @@ fn multiple_concurrent_connections() {
         assert_eq!(st.borrow().bytes_received, 50_000);
     }
     // Each connection had its own channel; all were reaped at close.
-    assert_eq!(w.trace.get("connections_established"), 10); // 5 per side
+    assert_eq!(w.metrics.get(Ctr::ConnectionsEstablished), 10); // 5 per side
     assert_eq!(w.hosts[1].netio.channel_count(), 0);
 }
 
@@ -186,8 +187,8 @@ fn udp_and_icmp_share_the_link_with_tcp() {
     }
     assert!(eng.run(&mut w, 20_000_000));
     assert_eq!(stats.borrow().bytes_received, 100_000);
-    assert_eq!(w.trace.get("udp_delivered"), 8);
-    assert_eq!(w.trace.get("icmp_echo_reply_received"), 8);
+    assert_eq!(w.metrics.get(Ctr::UdpDelivered), 8);
+    assert_eq!(w.metrics.get(Ctr::IcmpEchoReplyReceived), 8);
     // FIFO datagram content intact.
     for i in 0..8u16 {
         let d = w.hosts[1].udp.recv_from(53).expect("datagram");
@@ -207,7 +208,7 @@ fn udp_to_unbound_port_counts_unreachable() {
         b"void".to_vec(),
     );
     assert!(eng.run(&mut w, 1_000_000));
-    assert_eq!(w.trace.get("udp_unreachable"), 1);
+    assert_eq!(w.metrics.get(Ctr::UdpUnreachable), 1);
 }
 
 /// An app that writes a burst and aborts mid-stream.
@@ -268,7 +269,7 @@ fn registry_stray_segment_draws_rst() {
     assert!(eng.run(&mut w, 10_000_000));
     assert!(stats.borrow().rtts.is_empty(), "no data should flow");
     assert!(
-        w.trace.get("handshake_failures") > 0 || w.trace.get("connections_reset") > 0,
+        w.metrics.get(Ctr::HandshakeFailures) > 0 || w.metrics.get(Ctr::ConnectionsReset) > 0,
         "the SYN must be refused"
     );
 }
@@ -291,7 +292,7 @@ fn template_checks_never_fire_for_legitimate_traffic() {
     assert_eq!(stats.borrow().bytes_received, 200_000);
     assert_eq!(w.hosts[0].netio.tx_rejections, 0);
     assert_eq!(w.hosts[1].netio.tx_rejections, 0);
-    assert_eq!(w.trace.get("tx_template_rejections"), 0);
+    assert_eq!(w.metrics.get(Ctr::TxTemplateRejections), 0);
 }
 
 #[test]
@@ -309,8 +310,8 @@ fn batching_amortizes_signals_under_load() {
         4096,
     );
     assert!(eng.run(&mut w, 50_000_000));
-    let delivered = w.trace.get("ch_deliveries");
-    let batched = w.trace.get("ch_batched");
+    let delivered = w.metrics.get(Ctr::ChDeliveries);
+    let batched = w.metrics.get(Ctr::ChBatched);
     assert!(
         batched * 10 >= delivered,
         "expect ≥10% of deliveries batched under load: {batched}/{delivered}"
@@ -357,7 +358,7 @@ fn connect_to_nonexistent_host_times_out_with_reset() {
     assert!(eng.run(&mut w, 10_000_000), "give-up path must drain");
     assert!(stats.borrow().connected_at.is_none(), "must never connect");
     assert!(stats.borrow().reset, "the app must learn of the failure");
-    assert_eq!(w.trace.get("handshake_failures"), 1);
+    assert_eq!(w.metrics.get(Ctr::HandshakeFailures), 1);
     assert_eq!(w.hosts[0].registry.tracked(), 0, "registry cleaned up");
     assert_eq!(w.hosts[0].netio.channel_count(), 0, "channel reclaimed");
 }
@@ -373,9 +374,9 @@ fn oversized_udp_fragments_and_reassembles_through_the_stack() {
     send_udp(&mut w, &mut eng, 0, 700, (SERVER.0, 2049), payload.clone());
     assert!(eng.run(&mut w, 2_000_000));
     assert!(
-        w.trace.get("ip_fragments_held") >= 2,
+        w.metrics.get(Ctr::IpFragmentsHeld) >= 2,
         "fragments must traverse the reassembly path: {}",
-        w.trace.get("ip_fragments_held")
+        w.metrics.get(Ctr::IpFragmentsHeld)
     );
     let d = w.hosts[1]
         .udp

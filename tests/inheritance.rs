@@ -9,6 +9,7 @@ use std::rc::Rc;
 use unp::core::app::{BulkSender, SinkApp, TransferStats};
 use unp::core::world::{app_exit, build_two_hosts, connect, listen, Network, OrgKind};
 use unp::tcp::TcpConfig;
+use unp::trace::Ctr;
 use unp::wire::Ipv4Addr;
 
 const SERVER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
@@ -74,7 +75,7 @@ fn normal_exit_registry_completes_the_close() {
     // The peer saw an orderly EOF, not a reset.
     assert!(stats.borrow().peer_closed, "peer must see FIN");
     assert!(!stats.borrow().reset, "normal exit must not RST");
-    assert_eq!(w.trace.get("connections_inherited"), 1);
+    assert_eq!(w.metrics.get(Ctr::ConnectionsInherited), 1);
     // The registry drained its inherited connection after TIME_WAIT.
     assert_eq!(w.hosts[0].registry.tracked(), 0);
 }

@@ -9,6 +9,7 @@ use std::rc::Rc;
 use unp::core::app::{BulkSender, SinkApp, TransferStats};
 use unp::core::world::{build_hosts, connect, listen, Network, OrgKind};
 use unp::tcp::TcpConfig;
+use unp::trace::Ctr;
 use unp::wire::Ipv4Addr;
 
 #[test]
@@ -53,7 +54,7 @@ fn four_clients_one_server_streams_isolated() {
     }
     // The server's kernel ran four separate channels and reaped them all.
     assert_eq!(w.hosts[4].netio.channel_count(), 0);
-    assert_eq!(w.trace.get("tx_template_rejections"), 0);
+    assert_eq!(w.metrics.get(Ctr::TxTemplateRejections), 0);
 }
 
 #[test]
@@ -101,7 +102,7 @@ fn cross_traffic_between_pairs_coexists() {
     // Stations only process frames addressed to them; host 0 never saw
     // host 2's unicast data in its stack beyond the NIC's address match.
     assert!(
-        w.trace.get("ip_not_for_us") == 0,
+        w.metrics.get(Ctr::IpNotForUs) == 0,
         "unicast must filter at the NIC"
     );
 }

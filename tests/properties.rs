@@ -13,6 +13,7 @@ use proptest::prelude::*;
 use unp::core::app::{BulkSender, EchoApp, PingPongApp, SinkApp, TransferStats};
 use unp::core::world::{build_two_hosts, connect, listen, Network, OrgKind};
 use unp::tcp::TcpConfig;
+use unp::trace::Ctr;
 use unp::wire::Ipv4Addr;
 
 const SERVER: (Ipv4Addr, u16) = (Ipv4Addr::new(10, 0, 0, 2), 80);
@@ -58,7 +59,7 @@ proptest! {
         prop_assert_eq!(s.bytes_received, total, "byte count");
         prop_assert!(s.peer_closed, "FIN must arrive");
         prop_assert!(!s.reset, "no reset expected");
-        prop_assert_eq!(w.trace.get("tx_template_rejections"), 0u64);
+        prop_assert_eq!(w.metrics.get(Ctr::TxTemplateRejections), 0u64);
     }
 
     /// Ping-pong of arbitrary size completes all rounds under any
