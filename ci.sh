@@ -36,6 +36,14 @@ cargo test -q --offline --no-default-features
 echo "== tier-1: zero-copy golden pcap + demux differential + journal (release) =="
 cargo test -q --release --offline --test zero_copy --test demux_differential --test journal
 
+# The fault soak: seeded drop/dup/reorder/corrupt/outage schedules plus a
+# mid-transfer application crash per world, with the differential oracle
+# (surviving streams byte-exact, failures clean) and the zero-leak sweep.
+# Fixed seeds inside the test make this deterministic; release mode
+# matches how the long multi-host worlds are meant to run.
+echo "== fault soak (seeded, release) =="
+cargo test -q --release --offline --test fault_soak
+
 # The reproduced tables are the project's ground truth: any diff against
 # the committed golden output — including from a demux or buffering
 # "optimization" — is a regression, not an update, unless reviewed.

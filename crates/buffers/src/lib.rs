@@ -66,13 +66,34 @@ fn bump_stats(f: impl FnOnce(&mut FrameStats)) {
     });
 }
 
+thread_local! {
+    static LIVE_FRAMES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of frame backing buffers currently alive on this thread (every
+/// COW divergence counts as its own backing). The robustness suite's leak
+/// oracle: after a world and its engine drop, this must return to its
+/// pre-run reading — a higher value means a ring, park list, or channel
+/// still pins packet memory.
+pub fn live_frames() -> u64 {
+    LIVE_FRAMES.with(|c| c.get())
+}
+
 struct Backing {
     data: Vec<u8>,
     pool: Weak<RefCell<PoolInner>>,
 }
 
+impl Backing {
+    fn new(data: Vec<u8>, pool: Weak<RefCell<PoolInner>>) -> Backing {
+        LIVE_FRAMES.with(|c| c.set(c.get() + 1));
+        Backing { data, pool }
+    }
+}
+
 impl Drop for Backing {
     fn drop(&mut self) {
+        LIVE_FRAMES.with(|c| c.set(c.get().saturating_sub(1)));
         if let Some(pool) = self.pool.upgrade() {
             let mut p = pool.borrow_mut();
             if p.free.len() < p.max_free && self.data.len() == p.buf_size {
@@ -163,10 +184,7 @@ impl FramePool {
         let need = headroom + payload.len();
         let data = self.take_buf(need);
         let mut frame = Frame {
-            backing: Rc::new(Backing {
-                data,
-                pool: Rc::downgrade(&self.inner),
-            }),
+            backing: Rc::new(Backing::new(data, Rc::downgrade(&self.inner))),
             head: headroom,
             len: payload.len(),
             id: unp_trace::next_frame_id(),
@@ -207,10 +225,7 @@ impl Frame {
         let len = data.len();
         bump_stats(|s| s.frames_fresh += 1);
         Frame {
-            backing: Rc::new(Backing {
-                data,
-                pool: Weak::new(),
-            }),
+            backing: Rc::new(Backing::new(data, Weak::new())),
             head: 0,
             len,
             id: unp_trace::next_frame_id(),
@@ -279,7 +294,7 @@ impl Frame {
         }
         data[self.head..self.head + self.len]
             .copy_from_slice(&self.backing.data[self.head..self.head + self.len]);
-        self.backing = Rc::new(Backing { data, pool });
+        self.backing = Rc::new(Backing::new(data, pool));
     }
 
     /// Extends the window front by `n` bytes (a header about to be filled
@@ -699,6 +714,24 @@ impl BqiTable {
         }
     }
 
+    /// Frees every entry bound to `owner` (the kernel's sweep after a
+    /// process death). Returns the freed indexes, ascending.
+    pub fn reclaim_owner(&mut self, owner: OwnerTag) -> Vec<u16> {
+        let mut freed = Vec::new();
+        for (i, e) in self.entries.iter_mut().enumerate().skip(1) {
+            if matches!(e, Some((o, _)) if *o == owner) {
+                *e = None;
+                freed.push(i as u16);
+            }
+        }
+        freed
+    }
+
+    /// Number of bound entries (including the permanent kernel entry 0).
+    pub fn bound_entries(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
     /// The owner of a BQI, if bound.
     pub fn owner(&self, bqi: u16) -> Option<OwnerTag> {
         self.entries
@@ -863,6 +896,22 @@ mod tests {
         }
         let mut g = pool.alloc(8, b"");
         assert_eq!(g.prepend(8), &[0u8; 8], "headroom must come back clean");
+    }
+
+    #[test]
+    fn live_frames_tracks_backings() {
+        let pool = FramePool::new(64, 4);
+        let base = live_frames();
+        let a = pool.alloc(0, b"x");
+        let b = a.clone();
+        assert_eq!(live_frames(), base + 1, "clones share one backing");
+        let mut c = a.clone();
+        c.as_mut_slice()[0] = b'y';
+        assert_eq!(live_frames(), base + 2, "COW divergence adds a backing");
+        drop(a);
+        drop(b);
+        drop(c);
+        assert_eq!(live_frames(), base, "all backings released");
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Deterministic full-stack fault injection.
+//!
+//! A [`FaultPlan`] is a seeded schedule of link-level faults (drop,
+//! duplicate, corrupt, reorder), outage windows, per-host receive-ring
+//! pressure, and application crashes, threaded through the world's link
+//! delivery and host stepping by [`crate::world::install_faults`]. The
+//! same seed always produces the same fault sequence, so a faulted run
+//! can be replayed exactly — the differential soak test depends on it.
+//!
+//! The per-link vocabulary mirrors the `ChannelModel` used by the TCP
+//! crate's two-stack loopback harness (tier-2 property tests), so both
+//! tiers describe impairments in the same terms; the world-level plan
+//! adds what a single loopback pipe cannot express: per-direction
+//! overrides, scheduled outages, ring pressure, and process crashes.
+
+use unp_sim::Nanos;
+
+/// Per-link fault probabilities (applied per delivered frame copy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability the frame is silently lost.
+    pub drop: f64,
+    /// Probability the frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability one payload byte is flipped in flight.
+    pub corrupt: f64,
+    /// Probability a delivered copy is delayed past later traffic.
+    pub reorder: f64,
+    /// Maximum extra delay applied to a reordered copy (uniform draw).
+    pub reorder_window: Nanos,
+}
+
+impl LinkFaults {
+    /// No impairment.
+    pub fn clean() -> Self {
+        LinkFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            reorder_window: 0,
+        }
+    }
+
+    /// The lossy preset shared with the loopback `ChannelModel`: loss at
+    /// `loss`, duplication and corruption at half that, plus reordering
+    /// within a 300 µs window.
+    pub fn lossy(loss: f64) -> Self {
+        LinkFaults {
+            drop: loss,
+            duplicate: loss / 2.0,
+            corrupt: loss / 2.0,
+            reorder: loss / 2.0,
+            reorder_window: 300_000,
+        }
+    }
+}
+
+/// A scheduled window during which matching frames are dropped outright
+/// (a cable pull / switch reboot, not random loss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Restrict to frames sent by this host (None = any sender).
+    pub from: Option<usize>,
+    /// Restrict to frames received by this host (None = any receiver).
+    pub to: Option<usize>,
+    /// Window start (inclusive).
+    pub start: Nanos,
+    /// Window end (exclusive).
+    pub end: Nanos,
+}
+
+/// A window during which a host's receive rings behave as if the
+/// consumer stalled: effective capacity is clamped to `cap` slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingPressure {
+    /// The slow-consumer host.
+    pub host: usize,
+    /// Window start (inclusive).
+    pub start: Nanos,
+    /// Window end (exclusive).
+    pub end: Nanos,
+    /// Clamped ring capacity during the window.
+    pub cap: usize,
+}
+
+/// A scheduled application-process crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The host whose application process dies.
+    pub host: usize,
+    /// Simulation time of the crash.
+    pub at: Nanos,
+}
+
+/// What happens to one delivered copy of a frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameFate {
+    /// Lost to a scheduled outage window.
+    pub outage: bool,
+    /// Lost to random drop.
+    pub drop: bool,
+    /// One payload byte is flipped before delivery.
+    pub corrupt: bool,
+    /// Extra arrival delay per delivered copy: one entry normally, two
+    /// when duplicated; a nonzero entry means that copy was reordered.
+    pub delays: Vec<Nanos>,
+}
+
+/// A seeded full-stack fault schedule. Default construction
+/// ([`FaultPlan::none`]) is fully disabled: the world behaves
+/// byte-identically to a build without fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Master switch; when false no RNG draw ever happens.
+    pub enabled: bool,
+    /// Fault probabilities applied to links without an override.
+    pub default_link: LinkFaults,
+    /// Per-(sender, receiver) overrides — asymmetric schedules.
+    pub links: Vec<((usize, usize), LinkFaults)>,
+    /// Scheduled outage windows.
+    pub outages: Vec<Outage>,
+    /// Scheduled slow-consumer windows.
+    pub pressure: Vec<RingPressure>,
+    /// Scheduled application crashes.
+    pub crashes: Vec<Crash>,
+    rng: XorShift,
+}
+
+impl FaultPlan {
+    /// A disabled plan (the world default).
+    pub fn none() -> Self {
+        FaultPlan {
+            enabled: false,
+            default_link: LinkFaults::clean(),
+            links: Vec::new(),
+            outages: Vec::new(),
+            pressure: Vec::new(),
+            crashes: Vec::new(),
+            rng: XorShift::new(0),
+        }
+    }
+
+    /// An enabled plan with no impairment configured — the base for
+    /// building custom schedules.
+    pub fn clean(seed: u64) -> Self {
+        FaultPlan {
+            enabled: true,
+            rng: XorShift::new(seed),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// An enabled plan applying [`LinkFaults::lossy`] to every link.
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        FaultPlan {
+            default_link: LinkFaults::lossy(loss),
+            ..FaultPlan::clean(seed)
+        }
+    }
+
+    /// Sets an asymmetric per-direction override.
+    pub fn set_link(&mut self, from: usize, to: usize, faults: LinkFaults) {
+        if let Some(e) = self.links.iter_mut().find(|(k, _)| *k == (from, to)) {
+            e.1 = faults;
+        } else {
+            self.links.push(((from, to), faults));
+        }
+    }
+
+    fn link_for(&self, from: usize, to: usize) -> LinkFaults {
+        self.links
+            .iter()
+            .find(|(k, _)| *k == (from, to))
+            .map(|(_, f)| *f)
+            .unwrap_or(self.default_link)
+    }
+
+    fn in_outage(&self, from: usize, to: usize, now: Nanos) -> bool {
+        self.outages.iter().any(|o| {
+            o.from.is_none_or(|f| f == from)
+                && o.to.is_none_or(|t| t == to)
+                && now >= o.start
+                && now < o.end
+        })
+    }
+
+    /// Decides the fate of one frame sent `from` → `to` at `now`. Draw
+    /// order matches the loopback model: loss, corrupt, duplicate, then
+    /// per-copy reorder delay.
+    pub fn fate(&mut self, from: usize, to: usize, now: Nanos) -> FrameFate {
+        let mut fate = FrameFate::default();
+        if !self.enabled {
+            fate.delays.push(0);
+            return fate;
+        }
+        if self.in_outage(from, to, now) {
+            fate.outage = true;
+            return fate;
+        }
+        let lf = self.link_for(from, to);
+        if self.rng.chance(lf.drop) {
+            fate.drop = true;
+            return fate;
+        }
+        fate.corrupt = self.rng.chance(lf.corrupt);
+        let copies = if self.rng.chance(lf.duplicate) { 2 } else { 1 };
+        for _ in 0..copies {
+            let delay = if self.rng.chance(lf.reorder) && lf.reorder_window > 0 {
+                1 + self.rng.below(lf.reorder_window)
+            } else {
+                0
+            };
+            fate.delays.push(delay);
+        }
+        fate
+    }
+
+    /// A deterministic index draw in `[0, span)` — used to pick the
+    /// corrupted byte.
+    pub fn pick(&mut self, span: usize) -> usize {
+        if span == 0 {
+            return 0;
+        }
+        self.rng.below(span as u64) as usize
+    }
+
+    /// The clamped ring capacity for `host` at `now`, if a pressure
+    /// window is active.
+    pub fn ring_cap(&self, host: usize, now: Nanos) -> Option<usize> {
+        if !self.enabled {
+            return None;
+        }
+        self.pressure
+            .iter()
+            .find(|p| p.host == host && now >= p.start && now < p.end)
+            .map(|p| p.cap)
+    }
+}
+
+/// xorshift64* — the same tiny deterministic PRNG the loopback
+/// `ChannelModel` uses, so identical seeds behave comparably across
+/// tiers.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        (self.next() as f64 / u64::MAX as f64) < p
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let mut p = FaultPlan::none();
+        for t in 0..1000 {
+            let f = p.fate(0, 1, t * 1000);
+            assert_eq!(
+                f,
+                FrameFate {
+                    delays: vec![0],
+                    ..FrameFate::default()
+                }
+            );
+        }
+        assert_eq!(p.ring_cap(0, 0), None);
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let run = || {
+            let mut p = FaultPlan::lossy(42, 0.2);
+            (0..500).map(|t| p.fate(0, 1, t)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // A different seed produces a different sequence.
+        let mut q = FaultPlan::lossy(43, 0.2);
+        let other: Vec<_> = (0..500).map(|t| q.fate(0, 1, t)).collect();
+        assert_ne!(run(), other);
+    }
+
+    #[test]
+    fn lossy_plan_exercises_every_fault_kind() {
+        let mut p = FaultPlan::lossy(7, 0.3);
+        let fates: Vec<_> = (0..2000).map(|t| p.fate(0, 1, t)).collect();
+        assert!(fates.iter().any(|f| f.drop));
+        assert!(fates.iter().any(|f| f.corrupt));
+        assert!(fates.iter().any(|f| f.delays.len() == 2));
+        assert!(fates.iter().any(|f| f.delays.iter().any(|&d| d > 0)));
+        assert!(fates.iter().any(|f| !f.drop && f.delays == vec![0]));
+    }
+
+    #[test]
+    fn outage_window_beats_link_probabilities() {
+        let mut p = FaultPlan::clean(1);
+        p.outages.push(Outage {
+            from: Some(0),
+            to: None,
+            start: 100,
+            end: 200,
+        });
+        assert!(!p.fate(0, 1, 99).outage);
+        assert!(p.fate(0, 1, 100).outage);
+        assert!(p.fate(0, 1, 199).outage);
+        assert!(!p.fate(0, 1, 200).outage);
+        // Other senders are unaffected.
+        assert!(!p.fate(1, 0, 150).outage);
+    }
+
+    #[test]
+    fn asymmetric_override_applies_one_direction_only() {
+        let mut p = FaultPlan::clean(9);
+        p.set_link(0, 1, LinkFaults::lossy(1.0));
+        assert!(p.fate(0, 1, 0).drop, "forward direction fully lossy");
+        let back = p.fate(1, 0, 0);
+        assert!(!back.drop && !back.corrupt, "reverse direction clean");
+    }
+
+    #[test]
+    fn ring_pressure_window_clamps_capacity() {
+        let mut p = FaultPlan::clean(3);
+        p.pressure.push(RingPressure {
+            host: 1,
+            start: 1000,
+            end: 2000,
+            cap: 4,
+        });
+        assert_eq!(p.ring_cap(1, 999), None);
+        assert_eq!(p.ring_cap(1, 1000), Some(4));
+        assert_eq!(p.ring_cap(1, 1999), Some(4));
+        assert_eq!(p.ring_cap(1, 2000), None);
+        assert_eq!(p.ring_cap(0, 1500), None);
+    }
+}

@@ -28,13 +28,17 @@
 
 pub mod app;
 pub mod experiments;
+pub mod faults;
 pub mod pcap;
 pub mod rrp;
 pub mod sockets;
 pub mod world;
 
 pub use app::{AppLogic, AppOp, AppView, BulkSender, EchoApp, PingPongApp, SinkApp, TransferStats};
-pub use world::{build_hosts, build_two_hosts, Eng, Host, Network, OrgKind, World};
+pub use faults::{Crash, FaultPlan, LinkFaults, Outage, RingPressure};
+pub use world::{
+    build_hosts, build_two_hosts, crash_host, install_faults, Eng, Host, Network, OrgKind, World,
+};
 
 /// Congestion-control selection for the ablation experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -251,6 +251,11 @@ pub struct World {
     /// ("user-level network code" for monitoring): each tap's BPF program
     /// runs over every frame on the wire and counts matches.
     taps: Vec<Tap>,
+    /// The active fault-injection schedule. Disabled by default
+    /// ([`crate::faults::FaultPlan::none`]): no RNG draw happens and the
+    /// data path is byte-identical to a build without fault injection.
+    /// Install an enabled plan with [`install_faults`].
+    pub faults: crate::faults::FaultPlan,
 }
 
 /// A promiscuous capture tap: a named BPF program applied to all traffic.
@@ -402,8 +407,20 @@ pub fn build_hosts(n: usize, network: Network, org: OrgKind) -> (World, Eng) {
         ablate_zero_copy: false,
         pool: FramePool::new(buf_size, 256),
         taps: Vec::new(),
+        faults: crate::faults::FaultPlan::none(),
     };
     (world, Engine::new())
+}
+
+/// Installs a fault plan: stores it on the world and schedules its
+/// application-crash events. Call once after [`build_hosts`], before
+/// running the engine.
+pub fn install_faults(w: &mut World, eng: &mut Eng, plan: crate::faults::FaultPlan) {
+    for c in &plan.crashes {
+        let host = c.host;
+        eng.at(c.at, move |w, eng| crash_host(w, eng, host));
+    }
+    w.faults = plan;
 }
 
 /// Charges `cost` to host `h`'s CPU and schedules `f` at completion.
@@ -793,9 +810,83 @@ fn transmit_frame(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
         len: frame.len() as u32,
     });
     w.run_taps(now, &frame);
+    if !w.faults.enabled {
+        for rcpt in w.link.recipients(StationId(h), dst) {
+            let bytes = frame.clone();
+            eng.at(arrival, move |w, eng| frame_arrives(w, eng, rcpt.0, bytes));
+        }
+        return;
+    }
     for rcpt in w.link.recipients(StationId(h), dst) {
-        let bytes = frame.clone();
-        eng.at(arrival, move |w, eng| frame_arrives(w, eng, rcpt.0, bytes));
+        inject_and_deliver(w, eng, h, rcpt.0, arrival, now, &frame);
+    }
+}
+
+/// Applies the fault plan's verdict to one recipient's copy of a frame
+/// and schedules the surviving arrivals.
+fn inject_and_deliver(
+    w: &mut World,
+    eng: &mut Eng,
+    from: usize,
+    to: usize,
+    arrival: Nanos,
+    now: Nanos,
+    frame: &Frame,
+) {
+    use unp_trace::FaultKind;
+    let fate = w.faults.fate(from, to, now);
+    let (f16, t16) = (from as u16, to as u16);
+    let emit_fault = |kind: FaultKind| {
+        unp_trace::emit_at(f16, Some(frame.id()), || unp_trace::Event::FaultInject {
+            kind,
+            from: f16,
+            to: t16,
+        });
+    };
+    if fate.outage {
+        w.metrics.bump(Ctr::FaultOutageDrops);
+        w.metrics.link(f16, t16).outage_drops += 1;
+        emit_fault(FaultKind::Outage);
+        return;
+    }
+    if fate.drop {
+        w.metrics.bump(Ctr::FaultDrops);
+        w.metrics.link(f16, t16).drops += 1;
+        emit_fault(FaultKind::Drop);
+        return;
+    }
+    let mut bytes = frame.clone();
+    if fate.corrupt {
+        // Flip one byte past the link header: the TCP checksum catches it
+        // at the receiver. Link-header corruption on AN1 could flip the
+        // BQI field and *misdeliver* a checksum-valid segment — a
+        // different fault class than in-flight payload damage, so it is
+        // deliberately out of range. The clone diverges copy-on-write, so
+        // taps and other recipients keep the pristine frame.
+        let lhl = w.hosts[to].link_header_len();
+        if bytes.len() > lhl {
+            let idx = lhl + w.faults.pick(bytes.len() - lhl);
+            bytes.as_mut_slice()[idx] ^= 0x20;
+            w.metrics.bump(Ctr::FaultCorrupts);
+            w.metrics.link(f16, t16).corrupts += 1;
+            emit_fault(FaultKind::Corrupt);
+        }
+    }
+    if fate.delays.len() > 1 {
+        w.metrics.bump(Ctr::FaultDups);
+        w.metrics.link(f16, t16).dups += 1;
+        emit_fault(FaultKind::Duplicate);
+    }
+    for &extra in &fate.delays {
+        if extra > 0 {
+            w.metrics.bump(Ctr::FaultReorders);
+            w.metrics.link(f16, t16).reorders += 1;
+            emit_fault(FaultKind::Reorder);
+        }
+        let copy = bytes.clone();
+        eng.at(arrival + extra, move |w, eng| {
+            frame_arrives(w, eng, to, copy);
+        });
     }
 }
 
@@ -961,6 +1052,17 @@ fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     }
 }
 
+/// Counts and journals a TCP segment discarded because its checksum
+/// failed — damage in flight. The frame is dropped, not an error path:
+/// the sender's retransmission recovers the data.
+fn frame_corrupt_discard(w: &mut World, h: usize, len: usize) {
+    w.metrics.bump(Ctr::TcpBadChecksum);
+    w.metrics.bump(Ctr::FrameCorruptDiscards);
+    unp_trace::emit_at(h as u16, None, || unp_trace::Event::FrameCorruptDiscard {
+        len: len as u32,
+    });
+}
+
 /// TCP input for the monolithic organizations: in-kernel (or in-server)
 /// PCB lookup and processing. `payload` is the IP payload, usually a
 /// zero-copy window over the wire frame.
@@ -971,7 +1073,7 @@ fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, paylo
         return;
     };
     if !pkt.verify_checksum(src, local_ip) {
-        w.metrics.bump(Ctr::TcpBadChecksum);
+        frame_corrupt_discard(w, h, payload.len());
         return;
     }
     let repr = TcpRepr::parse(&pkt);
@@ -1175,6 +1277,12 @@ fn userlib_ip_input(
         monolithic_ip_input(w, eng, h, frame);
         return;
     }
+    // Slow-consumer windows from the fault plan clamp the effective ring
+    // capacity for the delivery below (None clears any previous clamp; a
+    // disabled plan always yields None). Overflow drops recover through
+    // normal TCP retransmission.
+    let cap = w.faults.ring_cap(h, eng.now());
+    w.hosts[h].netio.set_pressure_cap(cap);
     let delivery = match hw_ring {
         Some(ring) => w.hosts[h].netio.deliver_hardware(ring, &frame),
         None => w.hosts[h].netio.deliver_software(&frame),
@@ -1343,7 +1451,7 @@ fn library_process_chain(
                 break 'one;
             };
             if !pkt.verify_checksum(src, local_ip) {
-                w.metrics.bump(Ctr::TcpBadChecksum);
+                frame_corrupt_discard(w, h, payload.len());
                 break 'one;
             }
             let repr = TcpRepr::parse(&pkt);
@@ -1393,7 +1501,7 @@ fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
             let ann = f.announce();
             if ann != 0 {
                 // Key by our (local port, remote ip, remote port).
-                if let Some((src, repr)) = peek_tcp(w, h, &frame) {
+                if let Peek::Tcp(src, repr) = peek_tcp_quiet(w, h, &frame) {
                     w.hosts[h]
                         .announced
                         .insert((repr.dst_port, src, repr.src_port), ann);
@@ -1448,21 +1556,51 @@ fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     });
 }
 
+/// What [`peek_tcp_quiet`] saw in a frame.
+enum Peek {
+    /// A checksum-valid TCP segment.
+    Tcp(Ipv4Addr, TcpRepr),
+    /// A TCP segment whose checksum failed (damaged in flight); carries
+    /// the segment length for the discard journal entry.
+    BadChecksum(usize),
+    /// Not an unfragmented TCP segment at all.
+    NotTcp,
+}
+
 /// Parses (src ip, tcp header) out of a frame without consuming reassembly
-/// state (handshake segments are never fragmented).
-fn peek_tcp(w: &World, h: usize, frame: &[u8]) -> Option<(Ipv4Addr, TcpRepr)> {
+/// state (handshake segments are never fragmented) and without touching
+/// metrics — the BQI-announcement probe runs this on frames the main path
+/// will classify again.
+fn peek_tcp_quiet(w: &World, h: usize, frame: &[u8]) -> Peek {
     let lhl = w.hosts[h].link_header_len();
-    let ip = unp_wire::Ipv4Packet::new_checked(&frame[lhl..]).ok()?;
+    let Ok(ip) = unp_wire::Ipv4Packet::new_checked(&frame[lhl..]) else {
+        return Peek::NotTcp;
+    };
     if ip.protocol() != IpProtocol::Tcp || ip.more_frags() || ip.frag_offset() != 0 {
-        return None;
+        return Peek::NotTcp;
     }
     let src = ip.src();
     let dst = ip.dst();
-    let pkt = TcpPacket::new_checked(ip.payload()).ok()?;
+    let Ok(pkt) = TcpPacket::new_checked(ip.payload()) else {
+        return Peek::NotTcp;
+    };
     if !pkt.verify_checksum(src, dst) {
-        return None;
+        return Peek::BadChecksum(ip.payload().len());
     }
-    Some((src, TcpRepr::parse(&pkt)))
+    Peek::Tcp(src, TcpRepr::parse(&pkt))
+}
+
+/// [`peek_tcp_quiet`] plus accounting: a checksum failure is counted and
+/// journaled as a corrupt-frame discard instead of vanishing silently.
+fn peek_tcp(w: &mut World, h: usize, frame: &[u8]) -> Option<(Ipv4Addr, TcpRepr)> {
+    match peek_tcp_quiet(w, h, frame) {
+        Peek::Tcp(src, repr) => Some((src, repr)),
+        Peek::BadChecksum(len) => {
+            frame_corrupt_discard(w, h, len);
+            None
+        }
+        Peek::NotTcp => None,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1627,15 +1765,18 @@ fn finalize_user_conn(w: &mut World, eng: &mut Eng, h: usize, hs: HsId, tcb: Tcb
     w.hosts[h].netio.activate(chan.id);
     // The app: active opens registered it; passive opens use the listener
     // factory.
+    let port = tcb.local().1;
     let app = match w.hosts[h].pending_apps.remove(&hs.0) {
-        Some(app) => app,
-        None => {
-            let port = tcb.local().1;
-            match w.hosts[h].listeners.get_mut(&port) {
-                Some(l) => (l.factory)(),
-                None => return, // listener vanished; connection dropped
-            }
-        }
+        Some(app) => Some(app),
+        None => w.hosts[h].listeners.get_mut(&port).map(|l| (l.factory)()),
+    };
+    let Some(app) = app else {
+        // The listener was torn down while the handshake was completing.
+        // The channel is already activated and the peer believes it is
+        // connected, so this cannot just drop on the floor: release the
+        // channel and reset the peer.
+        listener_vanished(w, eng, h, chan, tcb);
+        return;
     };
     let write_size = w.hosts[h].pending_write_sizes.remove(&hs.0).unwrap_or(4096);
     let cid = install_conn(w, h, tcb, app, Some(chan), write_size);
@@ -1655,6 +1796,43 @@ fn finalize_user_conn(w: &mut World, eng: &mut Eng, h: usize, hs: HsId, tcb: Tcb
     host_exec(w, eng, h, cost, move |w, eng| {
         app_event(w, eng, h, cid, AppEvent::Connected);
     });
+}
+
+/// A handshake completed for a listener that no longer exists (the
+/// accepting process unlistened or died mid-completion). The channel was
+/// already activated, so release it and its BQI, forget frames parked
+/// under the key, and hand the established TCB to the registry, which
+/// resets the peer on the vanished application's behalf (the §3.4
+/// trusted-agent role).
+fn listener_vanished(w: &mut World, eng: &mut Eng, h: usize, chan: ChanInfo, tcb: Tcb) {
+    w.metrics.bump(Ctr::ListenerVanished);
+    w.metrics.bump(Ctr::ResourceReclaims);
+    let port = tcb.local().1;
+    let owner32 = w.hosts[h].owner().0 as u32;
+    unp_trace::emit_at(h as u16, None, || unp_trace::Event::ResourceReclaim {
+        kind: unp_trace::ReclaimKind::Connection,
+        owner: owner32,
+        id: port as u32,
+    });
+    let key = (port, tcb.remote().0, tcb.remote().1);
+    w.hosts[h].parked.remove(&key);
+    w.hosts[h].announced.remove(&key);
+    let stats = w.hosts[h].netio.channel_stats(chan.id);
+    w.hosts[h].netio.destroy_channel(chan.id, OwnerTag(0));
+    if let Nic::An1(nic) = &mut w.hosts[h].nic {
+        nic.bqi_table
+            .free(chan.our_bqi, unp_buffers::BqiTable::KERNEL_OWNER);
+    }
+    w.metrics.gauge_dec(Gauge::OpenChannels);
+    if let Some(cs) = stats {
+        w.hosts[h]
+            .registry
+            .record_channel_stats(port, tcb.remote(), cs);
+    }
+    let owner = w.hosts[h].owner();
+    let now = eng.now();
+    let actions = w.hosts[h].registry.app_exit(owner, vec![tcb], true, now);
+    apply_registry_actions(w, eng, h, actions);
 }
 
 /// Parses a frame and feeds it to an installed connection (parked-frame
@@ -2177,6 +2355,120 @@ pub fn app_exit(w: &mut World, eng: &mut Eng, host: usize, cid: u32, abnormal: b
     });
 }
 
+/// The application process on `host` dies abruptly at the current
+/// simulation time (the fault plan's [`crate::faults::Crash`] event;
+/// also callable directly from tests). Everything the process owned is
+/// reclaimed, in three stages (DESIGN.md §10):
+///
+/// 1. **World app state** — upcall targets are purged first so no event
+///    reaches the dead process, and in-flight handshake channels are
+///    destroyed (they can never be handed to an application now).
+/// 2. **Registry (the trusted agent)** — established connections are
+///    inherited and reset (RST to each peer), pending handshakes are
+///    aborted, and the process's listening-port reservations released.
+/// 3. **Kernel backstop** — [`NetIoModule::reclaim_owner`] and the BQI
+///    table sweep anything still tagged with the dead owner (normally
+///    nothing; every sweep hit is journaled, so a nonzero backstop count
+///    in a trace points at a reclamation-ordering bug).
+pub fn crash_host(w: &mut World, eng: &mut Eng, host: usize) {
+    use unp_trace::ReclaimKind;
+    let _attr = unp_trace::host_scope(host as u16);
+    let h16 = host as u16;
+    w.metrics.bump(Ctr::AppCrashes);
+    unp_trace::emit_at(h16, None, || unp_trace::Event::FaultInject {
+        kind: unp_trace::FaultKind::Crash,
+        from: h16,
+        to: h16,
+    });
+    let owner = w.hosts[host].owner();
+    let owner32 = owner.0 as u32;
+    let reclaim = |w: &mut World, kind: ReclaimKind, id: u32| {
+        w.metrics.bump(Ctr::ResourceReclaims);
+        unp_trace::emit_at(h16, None, || unp_trace::Event::ResourceReclaim {
+            kind,
+            owner: owner32,
+            id,
+        });
+    };
+    // Local listener factories die with the process in every organization.
+    let mut ports: Vec<u16> = w.hosts[host].listeners.keys().copied().collect();
+    ports.sort_unstable();
+    w.hosts[host].listeners.clear();
+    for &port in &ports {
+        reclaim(w, ReclaimKind::Listener, port as u32);
+    }
+    if !w.hosts[host].org.is_user_library() {
+        // Monolithic: protocol state lives in the kernel, which aborts
+        // every connection the process had open; nothing else can leak.
+        let mut cids: Vec<u32> = w.hosts[host].conns.keys().copied().collect();
+        cids.sort_unstable();
+        for cid in cids {
+            reclaim(w, ReclaimKind::Connection, cid);
+            app_exit(w, eng, host, cid, true);
+        }
+        return;
+    }
+    // Stage 1: world app state. Purged before any registry action runs so
+    // the Failed/reset paths find no dead-process upcall target.
+    w.hosts[host].pending_apps.clear();
+    w.hosts[host].pending_write_sizes.clear();
+    w.hosts[host].parked.clear();
+    // In-flight handshake channels are destroyed now: they can never
+    // reach an application. The registry aborts below then find
+    // `hs_setup` already empty, so their Failed actions skip the channel
+    // teardown (no double accounting), and a Complete already in flight
+    // finds no setup and is dropped.
+    let mut hss: Vec<u64> = w.hosts[host].hs_setup.keys().copied().collect();
+    hss.sort_unstable();
+    for hs in hss {
+        let setup = w.hosts[host].hs_setup.remove(&hs).expect("collected above");
+        w.hosts[host].hs_by_chan.remove(&setup.chan.id);
+        w.hosts[host]
+            .netio
+            .destroy_channel(setup.chan.id, OwnerTag(0));
+        if let Nic::An1(nic) = &mut w.hosts[host].nic {
+            nic.bqi_table
+                .free(setup.chan.our_bqi, unp_buffers::BqiTable::KERNEL_OWNER);
+        }
+        w.metrics.gauge_dec(Gauge::OpenChannels);
+        reclaim(w, ReclaimKind::Channel, setup.chan.id.0);
+    }
+    // Stage 2a: established connections take the normal abnormal-exit
+    // inheritance path — the registry resets each peer (§3.4).
+    let mut cids: Vec<u32> = w.hosts[host].conns.keys().copied().collect();
+    cids.sort_unstable();
+    for cid in cids {
+        reclaim(w, ReclaimKind::Connection, cid);
+        app_exit(w, eng, host, cid, true);
+    }
+    // Stage 2b: the registry aborts the dead process's pending handshakes
+    // (RST where synchronized) and releases its port reservations.
+    let (actions, report) = w.hosts[host].registry.owner_died(owner);
+    for &port in &report.listeners {
+        reclaim(w, ReclaimKind::Port, port as u32);
+    }
+    for &(hs, _port) in &report.handshakes {
+        reclaim(w, ReclaimKind::Handshake, hs as u32);
+    }
+    apply_registry_actions(w, eng, host, actions);
+    // Stage 3: kernel backstop sweep.
+    let swept = w.hosts[host].netio.reclaim_owner(owner);
+    for (id, _ring) in swept {
+        w.hosts[host].chan_to_conn.remove(&id);
+        w.hosts[host].hs_by_chan.remove(&id);
+        w.metrics.gauge_dec(Gauge::OpenChannels);
+        reclaim(w, ReclaimKind::Channel, id.0);
+    }
+    let freed = match &mut w.hosts[host].nic {
+        Nic::An1(nic) => nic.bqi_table.reclaim_owner(owner),
+        Nic::Lance(_) => Vec::new(),
+    };
+    for slot in freed {
+        reclaim(w, ReclaimKind::Bqi, slot as u32);
+    }
+    resched_wheel(w, eng, host);
+}
+
 // ---------------------------------------------------------------------
 // Timer wheel ↔ engine coupling
 // ---------------------------------------------------------------------
@@ -2387,5 +2679,56 @@ mod tests {
             "paper: the library beats Mach/UX ({ours} vs {mach})"
         );
         assert!(mach < dedicated, "dedicated servers are worst");
+    }
+
+    #[test]
+    fn listener_vanished_mid_handshake_resets_peer_and_reclaims() {
+        let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+        let stats = TransferStats::new_shared();
+        let st = std::rc::Rc::clone(&stats);
+        listen(
+            &mut w,
+            1,
+            80,
+            TcpConfig::default(),
+            Box::new(move || Box::new(SinkApp::new(std::rc::Rc::clone(&st)))),
+        );
+        connect(
+            &mut w,
+            &mut eng,
+            0,
+            (Ipv4Addr::new(10, 0, 0, 2), 80),
+            TcpConfig::default(),
+            Box::new(BulkSender::new(10_000, 4096)),
+            4096,
+        );
+        // Step until the server's handshake enters completion, then tear
+        // the listener down in the window before `finalize_user_conn`
+        // runs — the race the silent `// listener vanished` return used
+        // to swallow.
+        let mut steps = 0;
+        while !w.hosts[1].hs_setup.values().any(|s| s.completing)
+            && eng.step(&mut w)
+            && steps < 1_000_000
+        {
+            steps += 1;
+        }
+        assert!(
+            w.hosts[1].hs_setup.values().any(|s| s.completing),
+            "handshake never reached completion"
+        );
+        w.hosts[1].listeners.clear();
+        assert!(eng.run(&mut w, 5_000_000), "did not drain");
+
+        assert_eq!(w.metrics.get(Ctr::ListenerVanished), 1);
+        assert!(w.metrics.get(Ctr::ResourceReclaims) >= 1);
+        // The activated channel was released, the registry no longer
+        // tracks the connection, and the peer was reset (its conn torn
+        // down) instead of hanging half-open.
+        assert_eq!(w.hosts[1].netio.channel_count(), 0);
+        assert_eq!(w.hosts[1].registry.tracked(), 0);
+        assert!(w.hosts[0].conns.is_empty(), "peer never saw the RST");
+        assert_eq!(w.metrics.gauge(Gauge::OpenChannels), 0);
+        assert_eq!(stats.borrow().bytes_received, 0, "no app ever ran");
     }
 }

@@ -244,6 +244,11 @@ pub struct NetIoModule {
     /// filters a flow-table decision must still consult.
     active_wild: Vec<u32>,
     demux_stats: DemuxStats,
+    /// Slow-consumer fault model: when set, every ring behaves as if it
+    /// had at most this many slots, so overload sheds packets at the
+    /// channel boundary (recovered by TCP retransmission) instead of
+    /// stalling the host. `None` restores the configured capacities.
+    pressure_cap: Option<usize>,
     next_channel: u32,
     next_cap: u64,
     next_ring: u32,
@@ -274,6 +279,7 @@ impl NetIoModule {
             active_prefix: vec![0],
             active_wild: Vec::new(),
             demux_stats: DemuxStats::default(),
+            pressure_cap: None,
             next_channel: 0,
             next_cap: 0x6100_0000_0000_0000,
             next_ring: 1, // RingId(0) is the kernel default
@@ -400,6 +406,30 @@ impl NetIoModule {
         self.rebuild_active();
         self.caps.retain(|_, e| e.channel != id);
         true
+    }
+
+    /// Destroys every channel owned by `owner` — the kernel's backstop
+    /// sweep after a process death. Returns the reclaimed channel ids and
+    /// their ring ids (ascending), so the caller can release any BQI
+    /// bindings and journal each reclamation.
+    pub fn reclaim_owner(&mut self, owner: OwnerTag) -> Vec<(ChannelId, Option<RingId>)> {
+        let mut doomed: Vec<(ChannelId, Option<RingId>)> = self
+            .channels
+            .iter()
+            .filter(|(_, ch)| ch.owner == owner)
+            .map(|(&id, ch)| (ChannelId(id), ch.ring_id))
+            .collect();
+        doomed.sort_by_key(|(id, _)| id.0);
+        for &(id, _) in &doomed {
+            self.destroy_channel(id, OwnerTag(0));
+        }
+        doomed
+    }
+
+    /// Sets (or clears) the slow-consumer ring pressure cap. See the
+    /// field docs; `Some(0)` sheds everything.
+    pub fn set_pressure_cap(&mut self, cap: Option<usize>) {
+        self.pressure_cap = cap;
     }
 
     /// Number of live channels.
@@ -557,13 +587,15 @@ impl NetIoModule {
         filter_instrs: usize,
         path: DemuxPath,
     ) -> Delivery {
+        let pressure = self.pressure_cap;
         let ch = self
             .channels
             .get_mut(&id.0)
             .expect("placed to live channel");
         // Same backpressure as the shared-region model: an oversize packet
         // doesn't fit a slot, a full ring means the region is exhausted.
-        if frame.len() > ch.slot_size || ch.rx_ring.len() >= ch.capacity {
+        let capacity = pressure.map_or(ch.capacity, |c| ch.capacity.min(c));
+        if frame.len() > ch.slot_size || ch.rx_ring.len() >= capacity {
             unp_trace::emit(Some(frame.id()), || unp_trace::Event::RingDrop {
                 channel: id.0,
             });
@@ -1112,6 +1144,48 @@ mod tests {
             Delivery::KernelDefault { path, .. } => assert_eq!(path, DemuxPath::FilterScan),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn reclaim_owner_sweeps_only_that_owners_channels() {
+        let mut m = NetIoModule::new();
+        let (dead1, ..) = m.create_channel(OwnerTag(7), &spec(), template(), 8, 2048);
+        let (alive, ..) = m.create_channel(OwnerTag(8), &wildcard_spec(81), template(), 8, 2048);
+        let (dead2, ..) = m.create_channel(OwnerTag(7), &wildcard_spec(82), template(), 8, 2048);
+        m.activate(alive);
+        let reclaimed = m.reclaim_owner(OwnerTag(7));
+        let ids: Vec<ChannelId> = reclaimed.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![dead1, dead2]);
+        assert_eq!(m.channel_count(), 1);
+        assert_eq!(m.flow_table_len(), 0, "dead flow entry swept");
+        // The survivor still receives.
+        let frame = tcp_frame(THEM, US, 5000, 81);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { id, .. } if id == alive
+        ));
+        assert!(m.reclaim_owner(OwnerTag(7)).is_empty(), "idempotent");
+    }
+
+    #[test]
+    fn pressure_cap_sheds_at_reduced_capacity() {
+        let mut m = NetIoModule::new();
+        let (id, _, recv, _) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        m.activate(id);
+        m.set_pressure_cap(Some(1));
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { .. }
+        ));
+        assert_eq!(m.deliver_software(&frame), Delivery::Dropped);
+        // Lifting the pressure restores the configured capacity.
+        m.set_pressure_cap(None);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { .. }
+        ));
+        assert_eq!(m.consume(recv).unwrap().len(), 2);
     }
 
     #[test]

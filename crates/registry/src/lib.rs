@@ -90,6 +90,15 @@ pub enum RegistryAction {
     },
 }
 
+/// What [`RegistryServer::owner_died`] reclaimed, for journaling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeathReport {
+    /// Listening ports removed and released.
+    pub listeners: Vec<u16>,
+    /// In-flight handshakes aborted: `(hs id, local port)`.
+    pub handshakes: Vec<(u64, u16)>,
+}
+
 struct Pending {
     tcb: Tcb,
     owner: OwnerTag,
@@ -370,6 +379,48 @@ impl RegistryServer {
             }
         }
         out
+    }
+
+    /// Full death cleanup for `owner`, beyond the established connections
+    /// [`RegistryServer::app_exit`] inherits: listening sockets are
+    /// removed (their ports released for re-binding), and in-flight
+    /// handshakes are aborted — the peer of a synchronized handshake gets
+    /// a RST on the dead application's behalf, the ephemeral port returns
+    /// to the allocator, and a `Failed` action lets the hosting world tear
+    /// down the handshake's channel. Inherited connections the registry is
+    /// already closing for this owner are left to finish their protocol.
+    /// Returns the actions to route plus a report of what was reclaimed.
+    pub fn owner_died(&mut self, owner: OwnerTag) -> (Vec<RegistryAction>, DeathReport) {
+        let mut report = DeathReport::default();
+        let mut out = Vec::new();
+        let mut dead_ports: Vec<u16> = self
+            .listeners
+            .iter()
+            .filter(|(_, (o, _))| *o == owner)
+            .map(|(&p, _)| p)
+            .collect();
+        dead_ports.sort_unstable();
+        for port in dead_ports {
+            self.listeners.remove(&port);
+            self.ports.release(port);
+            report.listeners.push(port);
+        }
+        let mut dead_hs: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, p)| p.owner == owner && !p.inherited)
+            .map(|(&hs, _)| hs)
+            .collect();
+        dead_hs.sort_unstable();
+        for hs in dead_hs {
+            let (actions, port) = {
+                let p = self.conns.get_mut(&hs).expect("collected above");
+                (p.tcb.abort(), p.tcb.local().1)
+            };
+            report.handshakes.push((hs, port));
+            out.extend(self.route(hs, actions));
+        }
+        (out, report)
     }
 
     fn adopt(
@@ -675,6 +726,40 @@ mod tests {
             .iter()
             .any(|a| matches!(a, RegistryAction::Send { repr, .. } if repr.flags.rst));
         assert!(sent_rst, "abnormal exit must RST the peer: {actions:?}");
+    }
+
+    #[test]
+    fn owner_death_releases_listeners_and_aborts_handshakes() {
+        let mut r = RegistryServer::new(IP_A);
+        r.listen(OwnerTag(5), 80, TcpConfig::default()).unwrap();
+        r.listen(OwnerTag(6), 81, TcpConfig::default()).unwrap();
+        // An in-flight active open by the doomed owner.
+        let (hs, _) = r
+            .connect(OwnerTag(5), (IP_B, 90), TcpConfig::default(), 0)
+            .unwrap();
+        assert_eq!(r.tracked(), 1);
+
+        let (actions, report) = r.owner_died(OwnerTag(5));
+        assert_eq!(report.listeners, vec![80]);
+        assert_eq!(report.handshakes.len(), 1);
+        assert_eq!(report.handshakes[0].0, hs.0);
+        // The aborted handshake surfaces as Failed so the hosting world
+        // can tear down its channel (SYN_SENT aborts emit no RST).
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, RegistryAction::Failed { hs: f, .. } if *f == hs)));
+        assert_eq!(r.tracked(), 0, "aborted handshake reaped");
+        // The dead owner's listening port is immediately re-bindable; the
+        // survivor's is untouched.
+        assert!(r.listen(OwnerTag(9), 80, TcpConfig::default()).is_ok());
+        assert_eq!(
+            r.listen(OwnerTag(9), 81, TcpConfig::default()).err(),
+            Some(RegistryError::PortUnavailable)
+        );
+        // Idempotent on a second call.
+        let (actions, report) = r.owner_died(OwnerTag(5));
+        assert!(actions.is_empty());
+        assert_eq!(report, DeathReport::default());
     }
 
     #[test]

@@ -33,6 +33,40 @@ impl Side {
     }
 }
 
+/// Per-direction impairment rates — the reverse-path override for
+/// asymmetric channels (a clean forward path with a lossy ACK path, or
+/// vice versa). Shares the world-level `FaultPlan` vocabulary.
+#[derive(Debug, Clone, Copy)]
+pub struct DirFaults {
+    /// Probability a segment is silently dropped.
+    pub loss: f64,
+    /// Probability a segment is delivered twice.
+    pub duplicate: f64,
+    /// Probability a random byte is flipped in flight.
+    pub corrupt: f64,
+}
+
+impl DirFaults {
+    /// No impairment.
+    pub fn clean() -> DirFaults {
+        DirFaults {
+            loss: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// The standard hostile mix: loss at `loss`, duplication and
+    /// corruption at half that.
+    pub fn lossy(loss: f64) -> DirFaults {
+        DirFaults {
+            loss,
+            duplicate: loss / 2.0,
+            corrupt: loss / 2.0,
+        }
+    }
+}
+
 /// Channel impairment model. Rates are per-segment probabilities in
 /// [0, 1], applied with a deterministic xorshift PRNG.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +85,16 @@ pub struct ChannelModel {
     pub corrupt: f64,
     /// PRNG seed.
     pub seed: u64,
+    /// Per-direction override for B→A traffic: when set, the reverse
+    /// path uses these rates instead of the shared `loss`/`duplicate`/
+    /// `corrupt` (jitter stays shared — it models the medium, not a
+    /// direction).
+    pub reverse: Option<DirFaults>,
+    /// A burst-loss window `[start, end)`: every segment handed to the
+    /// channel inside it, either direction, is dropped outright (a cable
+    /// pull, not random loss). Drops are counted in
+    /// [`Loopback::outage_drops`].
+    pub outage: Option<(Nanos, Nanos)>,
 }
 
 impl ChannelModel {
@@ -63,19 +107,33 @@ impl ChannelModel {
             jitter: 0,
             corrupt: 0.0,
             seed: 1,
+            reverse: None,
+            outage: None,
         }
     }
 
     /// A hostile channel for robustness tests.
     pub fn lossy(seed: u64, loss: f64) -> ChannelModel {
         ChannelModel {
-            latency: 100_000,
             loss,
             duplicate: loss / 2.0,
             jitter: 300_000,
             corrupt: loss / 2.0,
             seed,
+            ..ChannelModel::clean()
         }
+    }
+
+    /// Sets the reverse-path (B→A) override.
+    pub fn with_reverse(mut self, reverse: DirFaults) -> ChannelModel {
+        self.reverse = Some(reverse);
+        self
+    }
+
+    /// Sets a burst-loss outage window `[start, end)`.
+    pub fn with_outage(mut self, start: Nanos, end: Nanos) -> ChannelModel {
+        self.outage = Some((start, end));
+        self
     }
 }
 
@@ -172,6 +230,8 @@ pub struct Loopback {
     flight_seq: u64,
     /// Total segments handed to the channel (pre-impairment).
     pub segments_carried: u64,
+    /// Segments swallowed by the channel's outage window.
+    pub outage_drops: u64,
 }
 
 const ADDR_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -192,6 +252,7 @@ impl Loopback {
             flight: Vec::new(),
             flight_seq: 0,
             segments_carried: 0,
+            outage_drops: 0,
         };
         let (tcb, actions) = Tcb::connect((ADDR_A, PORT_A), (ADDR_B, PORT_B), cfg_a, 1000, 0);
         lb.a.tcb = Some(tcb);
@@ -360,18 +421,31 @@ impl Loopback {
             Side::B => (self.b.addr, self.a.addr),
         };
         let mut bytes = repr.build_segment(src, dst, &payload);
-        if self.rng.chance(self.chan.loss) {
+        if let Some((start, end)) = self.chan.outage {
+            if self.now >= start && self.now < end {
+                self.outage_drops += 1;
+                return;
+            }
+        }
+        // The reverse-path override applies to B→A traffic; with no
+        // override both directions share the model's rates (and the RNG
+        // draw sequence is unchanged from the symmetric model).
+        let dir = match (from, self.chan.reverse) {
+            (Side::B, Some(d)) => d,
+            _ => DirFaults {
+                loss: self.chan.loss,
+                duplicate: self.chan.duplicate,
+                corrupt: self.chan.corrupt,
+            },
+        };
+        if self.rng.chance(dir.loss) {
             return;
         }
-        if self.rng.chance(self.chan.corrupt) {
+        if self.rng.chance(dir.corrupt) {
             let idx = self.rng.below(bytes.len() as u64) as usize;
             bytes[idx] ^= 0x20;
         }
-        let copies = if self.rng.chance(self.chan.duplicate) {
-            2
-        } else {
-            1
-        };
+        let copies = if self.rng.chance(dir.duplicate) { 2 } else { 1 };
         for _ in 0..copies {
             let jitter = self.rng.below(self.chan.jitter + 1);
             let deliver_at = self.now + self.chan.latency + jitter;

@@ -36,7 +36,7 @@
 
 pub mod metrics;
 
-pub use metrics::{ChannelScope, ConnKey, ConnScope, Ctr, Gauge, Hist, Metrics};
+pub use metrics::{ChannelScope, ConnKey, ConnScope, Ctr, Gauge, Hist, LinkScope, Metrics};
 
 /// Simulated time in nanoseconds (mirrors `unp_sim::Nanos`; this crate
 /// sits below the engine and cannot import it).
@@ -79,6 +79,70 @@ impl Dir {
         match self {
             Dir::Rx => "rx",
             Dir::Tx => "tx",
+        }
+    }
+}
+
+/// What a fault-injection layer did to a frame (or host) in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The frame was silently dropped.
+    Drop,
+    /// The frame was delivered twice.
+    Duplicate,
+    /// The frame's arrival was delayed past later traffic.
+    Reorder,
+    /// A frame byte was flipped in flight.
+    Corrupt,
+    /// The frame fell inside a scheduled link outage window.
+    Outage,
+    /// A host's channel rings were capped to model a slow consumer.
+    RingPressure,
+    /// An application process was killed at a scheduled sim time.
+    Crash,
+}
+
+impl FaultKind {
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "dup",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Outage => "outage",
+            FaultKind::RingPressure => "pressure",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
+/// A trusted-layer resource released on behalf of a dead (or vanished)
+/// application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimKind {
+    /// A kernel channel (ring + template + flow-table entry) destroyed.
+    Channel,
+    /// An AN1 BQI slot freed.
+    Bqi,
+    /// A TCP port reservation released by the registry.
+    Port,
+    /// A listening socket removed by the registry.
+    Listener,
+    /// An in-flight handshake aborted by the registry.
+    Handshake,
+    /// An established connection aborted and inherited by the registry.
+    Connection,
+}
+
+impl ReclaimKind {
+    fn label(self) -> &'static str {
+        match self {
+            ReclaimKind::Channel => "channel",
+            ReclaimKind::Bqi => "bqi",
+            ReclaimKind::Port => "port",
+            ReclaimKind::Listener => "listener",
+            ReclaimKind::Handshake => "handshake",
+            ReclaimKind::Connection => "connection",
         }
     }
 }
@@ -148,6 +212,21 @@ pub enum Event {
     AppDeliver { conn: u64, bytes: u32 },
     /// The kernel ran the capability/template check on a transmit.
     TxTemplateCheck { channel: u32, ok: bool },
+    /// The fault plan perturbed a frame (or host). `from`/`to` identify
+    /// the link direction for frame faults; for `Crash`/`RingPressure`
+    /// both carry the afflicted host.
+    FaultInject { kind: FaultKind, from: u16, to: u16 },
+    /// A corrupted frame was caught by a checksum and discarded instead
+    /// of panicking or misdelivering.
+    FrameCorruptDiscard { len: u32 },
+    /// A trusted layer (kernel or registry) reclaimed a resource on
+    /// behalf of a dead application. `id` is the channel id, port number,
+    /// BQI index, or handshake id, per `kind`.
+    ResourceReclaim {
+        kind: ReclaimKind,
+        owner: u32,
+        id: u32,
+    },
 }
 
 impl Event {
@@ -166,6 +245,9 @@ impl Event {
             Event::TcpOooHold { .. } => "tcp_ooo_hold",
             Event::AppDeliver { .. } => "app_deliver",
             Event::TxTemplateCheck { .. } => "tx_template_check",
+            Event::FaultInject { .. } => "fault_inject",
+            Event::FrameCorruptDiscard { .. } => "frame_corrupt_discard",
+            Event::ResourceReclaim { .. } => "resource_reclaim",
         }
     }
 
@@ -217,6 +299,13 @@ impl Event {
             } => format!("lp={local_port} rp={remote_port} seq={seq} len={len}"),
             Event::AppDeliver { conn, bytes } => format!("conn={conn} bytes={bytes}"),
             Event::TxTemplateCheck { channel, ok } => format!("ch={channel} ok={ok}"),
+            Event::FaultInject { kind, from, to } => {
+                format!("kind={} from={from} to={to}", kind.label())
+            }
+            Event::FrameCorruptDiscard { len } => format!("len={len}"),
+            Event::ResourceReclaim { kind, owner, id } => {
+                format!("kind={} owner={owner} id={id}", kind.label())
+            }
         }
     }
 }

@@ -39,6 +39,8 @@ macro_rules! metric_enum {
 metric_enum! {
     /// Whole-world event counters (the former string keys, verbatim).
     Ctr {
+        /// Application processes killed by the fault plan (or by tests).
+        AppCrashes => "app_crashes",
         /// Deliveries batched behind a pending channel notification.
         ChBatched => "ch_batched",
         /// Frames delivered into connection channels.
@@ -53,6 +55,18 @@ metric_enum! {
         ConnectionsInherited => "connections_inherited",
         /// Connections torn down by RST.
         ConnectionsReset => "connections_reset",
+        /// Frames whose bytes the fault plan flipped in flight.
+        FaultCorrupts => "fault_corrupts",
+        /// Frames the fault plan silently dropped.
+        FaultDrops => "fault_drops",
+        /// Frames the fault plan delivered twice.
+        FaultDups => "fault_dups",
+        /// Frames dropped inside a scheduled link outage window.
+        FaultOutageDrops => "fault_outage_drops",
+        /// Frames the fault plan delayed past later traffic.
+        FaultReorders => "fault_reorders",
+        /// Corrupted frames caught by a checksum and discarded.
+        FrameCorruptDiscards => "frame_corrupt_discards",
         /// Frames parked while a channel finalization was in flight.
         FramesParked => "frames_parked",
         /// Frames received from the wire (pre-NIC-staging).
@@ -81,8 +95,14 @@ metric_enum! {
         IpUnknownProto => "ip_unknown_proto",
         /// Non-TCP frames that reached the library input path.
         LibNonTcp => "lib_non_tcp",
+        /// Handshake completions whose listener had already vanished;
+        /// the channel is reclaimed and the peer reset.
+        ListenerVanished => "listener_vanished",
         /// Frames dropped at NIC staging overflow.
         NicDrops => "nic_drops",
+        /// Resources (channels, ports, BQIs, handshakes) reclaimed by a
+        /// trusted layer on behalf of a dead application.
+        ResourceReclaims => "resource_reclaims",
         /// TCP segments discarded for bad checksums.
         TcpBadChecksum => "tcp_bad_checksum",
         /// TCP segments too short to parse.
@@ -180,6 +200,22 @@ pub struct ConnScope {
     pub bytes_to_app: u64,
 }
 
+/// Per-link fault roll-up, keyed by `(from host, to host)`: what the
+/// fault plan did to frames crossing that directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkScope {
+    /// Frames silently dropped.
+    pub drops: u64,
+    /// Frames delivered twice.
+    pub dups: u64,
+    /// Frames delayed past later traffic.
+    pub reorders: u64,
+    /// Frames with a byte flipped in flight.
+    pub corrupts: u64,
+    /// Frames dropped inside a scheduled outage window.
+    pub outage_drops: u64,
+}
+
 /// Per-channel demux/delivery roll-up, keyed by `(host, raw channel id)`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelScope {
@@ -203,6 +239,7 @@ pub struct Metrics {
     hists: Vec<Vec<u64>>,
     conns: BTreeMap<ConnKey, ConnScope>,
     channels: BTreeMap<(u16, u32), ChannelScope>,
+    links: BTreeMap<(u16, u16), LinkScope>,
 }
 
 impl Default for Metrics {
@@ -220,6 +257,7 @@ impl Metrics {
             hists: vec![Vec::new(); Hist::ALL.len()],
             conns: BTreeMap::new(),
             channels: BTreeMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -328,6 +366,17 @@ impl Metrics {
     /// Iterates recorded channel scopes in `(host, id)` order.
     pub fn channels(&self) -> impl Iterator<Item = (&(u16, u32), &ChannelScope)> + '_ {
         self.channels.iter()
+    }
+
+    /// The fault scope for the directed link `from -> to`, created empty
+    /// on first touch.
+    pub fn link(&mut self, from: u16, to: u16) -> &mut LinkScope {
+        self.links.entry((from, to)).or_default()
+    }
+
+    /// Iterates recorded per-link fault scopes in `(from, to)` order.
+    pub fn links(&self) -> impl Iterator<Item = (&(u16, u16), &LinkScope)> + '_ {
+        self.links.iter()
     }
 }
 

@@ -9,12 +9,15 @@
 //! slice prints the live gauges and delivery counters. When the
 //! connections retire, their per-connection and per-channel scopes are
 //! filled in, and the registry's channel-stats handoff reports any
-//! binding that kept missing the flow-table fast path.
+//! binding that kept missing the fast path. A mildly lossy seeded
+//! [`FaultPlan`] runs underneath, so the fault-injection counters and
+//! per-link fault scopes have something to show.
 
 use std::rc::Rc;
 
 use unp::core::app::{BulkSender, SinkApp, TransferStats};
-use unp::core::world::{build_two_hosts, connect, listen, Network, OrgKind};
+use unp::core::faults::FaultPlan;
+use unp::core::world::{build_two_hosts, connect, install_faults, listen, Network, OrgKind};
 use unp::sim::fmt_nanos;
 use unp::tcp::TcpConfig;
 use unp::trace::{Ctr, Gauge, Hist};
@@ -53,6 +56,11 @@ fn main() {
         );
         stats.push((port, total, st));
     }
+
+    // A gentle seeded impairment: 1% loss with half-rate duplication,
+    // corruption, and reordering. TCP absorbs all of it; the counters
+    // below show what was injected and recovered from.
+    install_faults(&mut world, &mut engine, FaultPlan::lossy(7, 0.01));
 
     // Step the world in slices, watching the gauges move.
     println!(
@@ -133,6 +141,32 @@ fn main() {
         println!(
             "h{host} chan {id:<3} delivered {:>6}  batched {:>6}  flow hits {:>6}  scan fallbacks {:>4}",
             ch.delivered, ch.batched, ch.flow_hits, ch.scan_fallbacks
+        );
+    }
+    println!();
+
+    // Fault injection: what the plan did to the wire, and what the stack
+    // noticed (a corrupted frame only counts as discarded once a
+    // checksum actually catches it).
+    println!("-- fault injection --");
+    println!(
+        "injected: {} dropped, {} duplicated, {} reordered, {} corrupted, {} outage-dropped",
+        world.metrics.get(Ctr::FaultDrops),
+        world.metrics.get(Ctr::FaultDups),
+        world.metrics.get(Ctr::FaultReorders),
+        world.metrics.get(Ctr::FaultCorrupts),
+        world.metrics.get(Ctr::FaultOutageDrops),
+    );
+    let rexmit: u64 = world.metrics.conns().map(|(_, c)| c.bytes_rexmit).sum();
+    println!(
+        "recovered: {} corrupt frames discarded by checksum, {} bytes retransmitted",
+        world.metrics.get(Ctr::FrameCorruptDiscards),
+        rexmit,
+    );
+    for ((from, to), l) in world.metrics.links() {
+        println!(
+            "link h{from}->h{to}: drops {} dups {} reorders {} corrupts {} outage {}",
+            l.drops, l.dups, l.reorders, l.corrupts, l.outage_drops
         );
     }
     println!();
