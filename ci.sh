@@ -36,6 +36,12 @@ cargo test -q --offline --no-default-features
 echo "== tier-1: zero-copy golden pcap + demux differential + journal (release) =="
 cargo test -q --release --offline --test zero_copy --test demux_differential --test journal
 
+# The profiler's join discipline must hold in release mode too: every
+# delivered frame's stage components sum exactly to its end-to-end span,
+# with fault-duplicated ids and checksum discards in the journal.
+echo "== profiler joins + windowed telemetry (release) =="
+cargo test -q --release --offline --test profile
+
 # The fault soak: seeded drop/dup/reorder/corrupt/outage schedules plus a
 # mid-transfer application crash per world, with the differential oracle
 # (surviving streams byte-exact, failures clean) and the zero-leak sweep.
@@ -51,5 +57,15 @@ echo "== repro-tables output vs. golden tables_output.txt =="
 cargo run -q -p unp-bench --release --offline --bin repro-tables > /tmp/unp_tables_output.txt
 diff -u tables_output.txt /tmp/unp_tables_output.txt \
   || { echo "repro-tables output diverged from golden tables_output.txt"; exit 1; }
+
+# Perf-regression gate: re-run the quick profiled workload and compare
+# the per-stage latency means against the committed baseline. A stage
+# mean more than 5% above the baseline fails; more than 5% below prints
+# a warning (refresh the baseline with --profile-baseline if reviewed).
+# The simulation is deterministic, so the band absorbs cost-model edits,
+# not noise.
+echo "== profile perf gate vs. BENCH_profile_baseline.json =="
+cargo run -q -p unp-bench --release --offline --bin repro-tables -- \
+  --profile-gate BENCH_profile_baseline.json
 
 echo "CI gate passed."

@@ -13,20 +13,74 @@
 //! #   also rerun the Table-2 workload with the event journal recording,
 //! #   print the receive-path latency breakdown cross-checked against the
 //! #   modeled costs, and write BENCH_trace.json
+//! cargo run -p unp-bench --release --bin repro-tables -- --profile
+//! #   also join the journal into per-frame path traces, print the
+//! #   per-stage latency decomposition and the 8→4096-channel churn
+//! #   sweep (rebuild_active timing), and write BENCH_profile.json
+//! cargo run -p unp-bench --release --bin repro-tables -- --profile-baseline
+//! #   (re)generate BENCH_profile_baseline.json for the CI perf gate
+//! #   from the quick workload; skips the tables
+//! cargo run -p unp-bench --release --bin repro-tables -- --profile-gate <baseline>
+//! #   re-run the quick workload and compare stage means against the
+//! #   committed baseline: exit 1 on regression past the tolerance band,
+//! #   warn on improvement; skips the tables
 //! ```
 
-use unp_bench::{demux, tables, timings, trace};
+use unp_bench::{demux, profile, tables, timings, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
     let want_timings = args.iter().any(|a| a == "--timings" || a == "timings");
     let want_trace = args.iter().any(|a| a == "--trace" || a == "trace");
+    let want_profile = args.iter().any(|a| a == "--profile" || a == "profile");
+    let want_baseline = args.iter().any(|a| a == "--profile-baseline");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--profile-gate")
+        .map(|i| args.get(i + 1).expect("--profile-gate <baseline>").clone());
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     let rounds = if quick { 10 } else { 30 };
+
+    // The gate/baseline modes are CI tools: deterministic quick workload,
+    // no table regeneration.
+    if want_baseline || gate_path.is_some() {
+        let rows = profile::profile_section(400_000);
+        let means = profile::gate_means(&rows);
+        if want_baseline {
+            let path = "BENCH_profile_baseline.json";
+            std::fs::write(path, profile::baseline_json(&rows)).expect("write baseline json");
+            println!("wrote {path}");
+        }
+        if let Some(path) = gate_path {
+            let baseline = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            match profile::check_gate(&means, &baseline) {
+                Ok(warnings) => {
+                    for w in &warnings {
+                        println!("warning: {w}");
+                    }
+                    println!("profile gate: stage means within ±5% of {path}");
+                }
+                Err(msg) => {
+                    eprintln!("profile gate FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
     let selectors: Vec<&String> = args
         .iter()
-        .filter(|a| *a != "--timings" && *a != "timings" && *a != "--trace" && *a != "trace")
+        .filter(|a| {
+            *a != "--timings"
+                && *a != "timings"
+                && *a != "--trace"
+                && *a != "trace"
+                && *a != "--profile"
+                && *a != "profile"
+        })
         .collect();
     let pick =
         |name: &str| selectors.is_empty() || selectors.iter().any(|a| *a == name || *a == "quick");
@@ -79,6 +133,17 @@ fn main() {
         trace::print_report(&rows);
         let json = trace::to_json(&rows, trace_total);
         let path = "BENCH_trace.json";
+        std::fs::write(path, &json).expect("write benchmark json");
+        println!("wrote {path}");
+    }
+
+    if want_profile {
+        let profile_total = if quick { 400_000 } else { 1_000_000 };
+        let rows = profile::profile_section(profile_total);
+        let churn = profile::churn_sweep();
+        profile::print_report(&rows, &churn);
+        let json = profile::to_json(&rows, &churn, profile_total);
+        let path = "BENCH_profile.json";
         std::fs::write(path, &json).expect("write benchmark json");
         println!("wrote {path}");
     }

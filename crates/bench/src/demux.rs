@@ -67,7 +67,7 @@ impl DemuxSection {
 
 const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
-fn spec_for(i: usize) -> DemuxSpec {
+pub(crate) fn spec_for(i: usize) -> DemuxSpec {
     DemuxSpec {
         link_header_len: 14,
         protocol: IpProtocol::Tcp,
@@ -78,7 +78,7 @@ fn spec_for(i: usize) -> DemuxSpec {
     }
 }
 
-fn template_for(spec: &DemuxSpec) -> HeaderTemplate {
+pub(crate) fn template_for(spec: &DemuxSpec) -> HeaderTemplate {
     HeaderTemplate {
         link_header_len: 14,
         src_mac: None,
@@ -127,7 +127,7 @@ pub fn populated_module(n: usize) -> (NetIoModule, Vec<u8>) {
 
 /// Best-of-`reps` ns/op — the minimum is the least-noise estimator for a
 /// deterministic operation.
-fn time_ns(mut f: impl FnMut(), iters: u64, reps: u32) -> f64 {
+pub(crate) fn time_ns(mut f: impl FnMut(), iters: u64, reps: u32) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();

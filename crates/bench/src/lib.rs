@@ -8,6 +8,7 @@
 //!   segment processing) on the host machine.
 
 pub mod demux;
+pub mod profile;
 pub mod tables;
 pub mod timings;
 pub mod trace;

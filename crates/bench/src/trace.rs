@@ -99,7 +99,7 @@ pub struct TraceRow {
 
 /// Modeled signaled-wakeup latency for a software delivery whose filter
 /// scan executed `instrs` instructions.
-fn wakeup_model(c: &CostModel, instrs: usize) -> Nanos {
+pub fn wakeup_model(c: &CostModel, instrs: usize) -> Nanos {
     c.demux_cost(DemuxPath::FilterScan, instrs)
         + c.ring_op
         + c.semaphore_signal

@@ -509,7 +509,7 @@ pub fn connect(
                 let now = eng.now();
                 let (tcb, actions) = Tcb::connect((local_ip, local_port), remote, cfg, iss, now);
                 let c = install_conn(w, host, tcb, app, None, write_size);
-                apply_tcp_actions(w, eng, host, c, actions);
+                apply_tcp_actions(w, eng, host, c, None, actions);
             });
         }
     }
@@ -1055,10 +1055,10 @@ fn monolithic_ip_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
 /// Counts and journals a TCP segment discarded because its checksum
 /// failed — damage in flight. The frame is dropped, not an error path:
 /// the sender's retransmission recovers the data.
-fn frame_corrupt_discard(w: &mut World, h: usize, len: usize) {
+fn frame_corrupt_discard(w: &mut World, h: usize, frame: Option<u64>, len: usize) {
     w.metrics.bump(Ctr::TcpBadChecksum);
     w.metrics.bump(Ctr::FrameCorruptDiscards);
-    unp_trace::emit_at(h as u16, None, || unp_trace::Event::FrameCorruptDiscard {
+    unp_trace::emit_at(h as u16, frame, || unp_trace::Event::FrameCorruptDiscard {
         len: len as u32,
     });
 }
@@ -1073,7 +1073,7 @@ fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, paylo
         return;
     };
     if !pkt.verify_checksum(src, local_ip) {
-        frame_corrupt_discard(w, h, payload.len());
+        frame_corrupt_discard(w, h, Some(payload.id()), payload.len());
         return;
     }
     let repr = TcpRepr::parse(&pkt);
@@ -1104,7 +1104,7 @@ fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, paylo
                 let conn = w.hosts[h].conns.get_mut(&cid).expect("indexed");
                 conn.tcb.on_segment(&repr, &data, now)
             };
-            apply_tcp_actions(w, eng, h, cid, actions);
+            apply_tcp_actions(w, eng, h, cid, Some(data.id()), actions);
             return;
         }
         // New connection to a listener?
@@ -1123,7 +1123,7 @@ fn tcp_input_direct(w: &mut World, eng: &mut Eng, h: usize, src: Ipv4Addr, paylo
             if let Some((tcb, actions)) = ltcb.on_syn((src, repr.src_port), &repr, iss, now) {
                 let write_size = 4096;
                 let cid = install_conn(w, h, tcb, app, None, write_size);
-                apply_tcp_actions(w, eng, h, cid, actions);
+                apply_tcp_actions(w, eng, h, cid, None, actions);
             }
             return;
         }
@@ -1305,10 +1305,21 @@ fn userlib_ip_input(
             id,
             signal,
             filter_instrs,
-            ..
+            path,
+            depth,
         } => {
             let demux_cost = c.demux_cost(model_path, filter_instrs);
             w.metrics.bump(Ctr::ChDeliveries);
+            // Live tier/occupancy telemetry: which machinery actually
+            // decided the delivery (unlike `model_path`, which is what
+            // the 1993 cost model charges), and the ring backlog after
+            // the push — what a windowed sampler watches.
+            match path {
+                DemuxPath::FlowTable => w.metrics.bump(Ctr::ChFlowHits),
+                DemuxPath::FilterScan => w.metrics.bump(Ctr::ChScanFallbacks),
+                DemuxPath::Hardware => {}
+            }
+            w.metrics.sample(Hist::RingDepth, depth as u64);
             let signal = signal || w.ablate_batching;
             if signal {
                 let cost = demux_cost
@@ -1451,7 +1462,7 @@ fn library_process_chain(
                 break 'one;
             };
             if !pkt.verify_checksum(src, local_ip) {
-                frame_corrupt_discard(w, h, payload.len());
+                frame_corrupt_discard(w, h, Some(payload.id()), payload.len());
                 break 'one;
             }
             let repr = TcpRepr::parse(&pkt);
@@ -1470,7 +1481,7 @@ fn library_process_chain(
                 };
                 conn.tcb.on_segment(&repr, &data, now)
             };
-            apply_tcp_actions(w, eng, h, cid, actions);
+            apply_tcp_actions(w, eng, h, cid, Some(frame.id()), actions);
         }
         library_process_chain(w, eng, h, cid, frames);
     });
@@ -1534,7 +1545,7 @@ fn registry_tcp_input(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
                 };
                 conn.tcb.on_segment(&repr, &data, now)
             };
-            apply_tcp_actions(w, eng, h, cid, actions);
+            apply_tcp_actions(w, eng, h, cid, Some(data.id()), actions);
             return;
         }
         // A connection mid-Complete: the kernel holds the frame until the
@@ -1592,11 +1603,11 @@ fn peek_tcp_quiet(w: &World, h: usize, frame: &[u8]) -> Peek {
 
 /// [`peek_tcp_quiet`] plus accounting: a checksum failure is counted and
 /// journaled as a corrupt-frame discard instead of vanishing silently.
-fn peek_tcp(w: &mut World, h: usize, frame: &[u8]) -> Option<(Ipv4Addr, TcpRepr)> {
-    match peek_tcp_quiet(w, h, frame) {
+fn peek_tcp(w: &mut World, h: usize, frame: &Frame) -> Option<(Ipv4Addr, TcpRepr)> {
+    match peek_tcp_quiet(w, h, &frame[..]) {
         Peek::Tcp(src, repr) => Some((src, repr)),
         Peek::BadChecksum(len) => {
-            frame_corrupt_discard(w, h, len);
+            frame_corrupt_discard(w, h, Some(frame.id()), len);
             None
         }
         Peek::NotTcp => None,
@@ -1855,14 +1866,34 @@ fn deliver_frame_to_conn(w: &mut World, eng: &mut Eng, h: usize, cid: u32, frame
         };
         conn.tcb.on_segment(&repr, &data, now)
     };
-    apply_tcp_actions(w, eng, h, cid, actions);
+    apply_tcp_actions(w, eng, h, cid, Some(frame.id()), actions);
 }
 
 // ---------------------------------------------------------------------
 // TCP action routing (library / in-kernel stack, post-establishment)
 // ---------------------------------------------------------------------
 
-fn apply_tcp_actions(w: &mut World, eng: &mut Eng, h: usize, cid: u32, actions: Vec<TcpAction>) {
+/// Routes one batch of TCP actions. `frame` is the id of the received
+/// frame that produced them (None for timer fires and app-initiated
+/// sends) — it stamps the `app_deliver` journal record so the profiler
+/// can join the final stage of the frame's path.
+fn apply_tcp_actions(
+    w: &mut World,
+    eng: &mut Eng,
+    h: usize,
+    cid: u32,
+    frame: Option<u64>,
+    actions: Vec<TcpAction>,
+) {
+    // Harvest the connection's counter increments into the live registry
+    // so windowed samplers see retransmit/RTT activity as it happens, not
+    // at teardown. The cumulative per-connection stats are untouched.
+    if let Some(conn) = w.hosts[h].conns.get_mut(&cid) {
+        let d = conn.tcb.take_stats_delta();
+        w.metrics.add(Ctr::TcpRexmitBytes, d.bytes_rexmit);
+        w.metrics.add(Ctr::TcpRexmitSegs, d.rexmits);
+        w.metrics.add(Ctr::TcpRttSamples, d.rtt_samples);
+    }
     for action in actions {
         if !w.hosts[h].conns.contains_key(&cid) {
             return; // connection reaped mid-sequence
@@ -1908,11 +1939,11 @@ fn apply_tcp_actions(w: &mut World, eng: &mut Eng, h: usize, cid: u32, actions: 
                     let conn = w.hosts[h].conns.get_mut(&cid).expect("checked");
                     (conn_key(h, &conn.tcb), conn.tcb.recv(usize::MAX, now))
                 };
-                apply_tcp_actions(w, eng, h, cid, more_actions);
+                apply_tcp_actions(w, eng, h, cid, frame, more_actions);
                 if !data.is_empty() {
                     w.metrics.sample(Hist::AppDeliverBytes, data.len() as u64);
                     w.metrics.conn(key).bytes_to_app += data.len() as u64;
-                    unp_trace::emit_at(h as u16, None, || unp_trace::Event::AppDeliver {
+                    unp_trace::emit_at(h as u16, frame, || unp_trace::Event::AppDeliver {
                         conn: cid as u64,
                         bytes: data.len() as u32,
                     });
@@ -2205,7 +2236,7 @@ fn apply_app_ops(w: &mut World, eng: &mut Eng, h: usize, cid: u32, ops: Vec<crat
                     };
                     conn.tcb.abort()
                 };
-                apply_tcp_actions(w, eng, h, cid, actions);
+                apply_tcp_actions(w, eng, h, cid, None, actions);
             }
         }
     }
@@ -2239,7 +2270,7 @@ fn flush_conn_tx(w: &mut World, eng: &mut Eng, h: usize, cid: u32) {
                 Err(_) => break,
             }
         };
-        apply_tcp_actions(w, eng, h, cid, actions);
+        apply_tcp_actions(w, eng, h, cid, None, actions);
         if !progressed {
             break;
         }
@@ -2257,7 +2288,7 @@ fn flush_conn_tx(w: &mut World, eng: &mut Eng, h: usize, cid: u32) {
             conn.close_pending = false;
             conn.tcb.close(now).unwrap_or_default()
         };
-        apply_tcp_actions(w, eng, h, cid, actions);
+        apply_tcp_actions(w, eng, h, cid, None, actions);
     }
 }
 
@@ -2308,7 +2339,7 @@ pub fn app_exit(w: &mut World, eng: &mut Eng, host: usize, cid: u32, abnormal: b
                 conn.tcb.close(now).unwrap_or_default()
             }
         };
-        apply_tcp_actions(w, eng, host, cid, actions);
+        apply_tcp_actions(w, eng, host, cid, None, actions);
         return;
     }
     // Tear the connection out of the library: cancel its timers, revoke
@@ -2508,7 +2539,7 @@ fn wheel_fire(w: &mut World, eng: &mut Eng, h: usize) {
                     conn.timer_ids.remove(&t);
                     conn.tcb.on_timer(t, now)
                 };
-                apply_tcp_actions(w, eng, h, cid, actions);
+                apply_tcp_actions(w, eng, h, cid, None, actions);
             }
             TimerToken::Registry(hs, t) => {
                 w.hosts[h].reg_timers.remove(&(hs, t));

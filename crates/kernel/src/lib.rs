@@ -106,6 +106,9 @@ pub enum Delivery {
         filter_instrs: usize,
         /// Which demultiplexing machinery decided the delivery.
         path: DemuxPath,
+        /// Ring occupancy after the push — the live backlog a windowed
+        /// sampler watches.
+        depth: u32,
     },
     /// No binding matched: delivered to protected kernel memory (BQI 0 /
     /// kernel default queue) for the in-kernel protocols or the registry.
@@ -367,6 +370,13 @@ impl NetIoModule {
         }
     }
 
+    /// Benchmark hook: runs one [`rebuild_active`](Self::rebuild_active)
+    /// pass so profilers can time the churn cost (the O(active channels)
+    /// cache rebuild every activation and teardown pays) in isolation.
+    pub fn force_rebuild_active(&mut self) {
+        self.rebuild_active();
+    }
+
     /// The filter instructions a linear scan interprets before `id`
     /// accepts: every earlier active binding's full program plus `id`'s.
     fn scan_equiv_instrs(&self, id: u32) -> usize {
@@ -625,6 +635,7 @@ impl NetIoModule {
             signal,
             filter_instrs,
             path,
+            depth,
         }
     }
 

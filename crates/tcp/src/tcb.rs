@@ -116,6 +116,11 @@ pub struct TcpStats {
     pub segs_in: u64,
     /// Data bytes retransmitted.
     pub bytes_rexmit: u64,
+    /// Data segments retransmitted (both RTO fires and fast
+    /// retransmits emit through the same head-of-buffer path).
+    pub rexmits: u64,
+    /// RTT estimator samples taken.
+    pub rtt_samples: u64,
     /// Retransmission timeouts fired.
     pub rto_fires: u64,
     /// Fast retransmits triggered.
@@ -232,6 +237,10 @@ pub struct Tcb {
     timer_set: [Option<Nanos>; TIMER_KINDS],
 
     stats: TcpStats,
+    /// Counter values as of the last [`take_stats_delta`](Tcb::take_stats_delta)
+    /// harvest, so live samplers can read increments without resetting
+    /// the cumulative [`stats`](Tcb::stats).
+    harvested: TcpStats,
 }
 
 impl Tcb {
@@ -276,6 +285,7 @@ impl Tcb {
             dup_acks: 0,
             timer_set: [None; TIMER_KINDS],
             stats: TcpStats::default(),
+            harvested: TcpStats::default(),
         }
     }
 
@@ -341,6 +351,26 @@ impl Tcb {
     /// Connection statistics.
     pub fn stats(&self) -> TcpStats {
         self.stats
+    }
+
+    /// Counter increments since the previous harvest (or since creation,
+    /// the first time). Leaves the cumulative [`stats`](Tcb::stats)
+    /// untouched; the world calls this after every segment batch to feed
+    /// retransmit/RTT activity into the live metrics registry.
+    pub fn take_stats_delta(&mut self) -> TcpStats {
+        let cur = self.stats;
+        let prev = std::mem::replace(&mut self.harvested, cur);
+        TcpStats {
+            segs_out: cur.segs_out - prev.segs_out,
+            segs_in: cur.segs_in - prev.segs_in,
+            bytes_rexmit: cur.bytes_rexmit - prev.bytes_rexmit,
+            rexmits: cur.rexmits - prev.rexmits,
+            rtt_samples: cur.rtt_samples - prev.rtt_samples,
+            rto_fires: cur.rto_fires - prev.rto_fires,
+            fast_rexmit: cur.fast_rexmit - prev.fast_rexmit,
+            dup_acks_in: cur.dup_acks_in - prev.dup_acks_in,
+            probes: cur.probes - prev.probes,
+        }
     }
 
     /// The smoothed RTT estimate, if any samples have been taken.
@@ -698,6 +728,7 @@ impl Tcb {
             let len = self.send_buf.len().min(self.snd_mss);
             let payload: Vec<u8> = self.send_buf.iter().take(len).copied().collect();
             self.stats.bytes_rexmit += len as u64;
+            self.stats.rexmits += 1;
             unp_trace::emit(None, || unp_trace::Event::TcpRexmit {
                 local_port: self.local.1,
                 remote_port: self.remote.1,
@@ -1064,6 +1095,7 @@ impl Tcb {
             if ack.ge(probe_seq) {
                 let rtt = now.saturating_sub(sent_at);
                 self.rtt.sample(rtt);
+                self.stats.rtt_samples += 1;
                 self.rtt_probe = None;
                 unp_trace::emit(None, || unp_trace::Event::RttSample {
                     local_port: self.local.1,

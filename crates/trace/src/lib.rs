@@ -35,8 +35,13 @@
 //! workspace's `tests/journal.rs`).
 
 pub mod metrics;
+pub mod profile;
 
-pub use metrics::{ChannelScope, ConnKey, ConnScope, Ctr, Gauge, Hist, LinkScope, Metrics};
+pub use metrics::{
+    ChannelScope, ConnKey, ConnScope, Ctr, Gauge, Hist, Histogram, LinkScope, Metrics, Snapshot,
+    Window,
+};
+pub use profile::{PathOutcome, PathTrace, Profile, Stage};
 
 /// Simulated time in nanoseconds (mirrors `unp_sim::Nanos`; this crate
 /// sits below the engine and cannot import it).
@@ -349,13 +354,59 @@ impl Record {
     }
 }
 
-/// Renders a whole journal as newline-terminated canonical lines.
+/// Renders a whole journal as newline-terminated canonical lines, sorted
+/// by `(time, host, frame, name, fields)` so records sharing a timestamp
+/// land in a stable order — journal goldens can't flake on same-tick
+/// events. Full ties keep emission order (the sort is stable). Analysis
+/// passes that join by frame id ([`profile`], the bench trace join) read
+/// the records slice directly in emission order; `render` is the display
+/// and golden-comparison surface.
 pub fn render(records: &[Record]) -> String {
+    let mut order: Vec<&Record> = records.iter().collect();
+    order.sort_by(|a, b| {
+        a.time
+            .cmp(&b.time)
+            .then_with(|| a.host.cmp(&b.host))
+            .then_with(|| a.frame.cmp(&b.frame))
+            .then_with(|| a.event.name().cmp(b.event.name()))
+            .then_with(|| a.event.fields().cmp(&b.event.fields()))
+    });
     let mut out = String::new();
-    for r in records {
+    for r in order {
         out.push_str(&r.line());
         out.push('\n');
     }
+    out
+}
+
+/// Serializes a journal as a JSON array (hand-rolled: the workspace is
+/// dependency-free by design), one object per record in emission order.
+/// Field values that parse as integers or booleans are emitted bare;
+/// everything else is quoted.
+pub fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n  " } else { "\n  " });
+        out.push_str(&format!("{{\"time\": {}", r.time));
+        if let Some(h) = r.host {
+            out.push_str(&format!(", \"host\": {h}"));
+        }
+        if let Some(f) = r.frame {
+            out.push_str(&format!(", \"frame\": {f}"));
+        }
+        out.push_str(&format!(", \"event\": \"{}\"", r.event.name()));
+        for kv in r.event.fields().split(' ') {
+            if let Some((k, v)) = kv.split_once('=') {
+                if v.parse::<u64>().is_ok() || v == "true" || v == "false" {
+                    out.push_str(&format!(", \"{k}\": {v}"));
+                } else {
+                    out.push_str(&format!(", \"{k}\": \"{v}\""));
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
     out
 }
 
@@ -395,36 +446,35 @@ mod active {
         RECORDING.with(|c| c.get())
     }
 
-    /// Emits an event attributed to the thread's current host scope. The
-    /// closure runs only while a journal is recording.
+    /// The shared record-push path behind [`emit`] and [`emit_at`]: gate
+    /// first, so neither the host resolver nor the event constructor runs
+    /// while quiescent.
     #[inline]
-    pub fn emit(frame: Option<u64>, make: impl FnOnce() -> Event) {
+    fn push(host: impl FnOnce() -> Option<u16>, frame: Option<u64>, make: impl FnOnce() -> Event) {
         if !journal_enabled() {
             return;
         }
         let rec = Record {
             time: CLOCK.with(|c| c.get()),
-            host: HOST.with(|c| c.get()),
+            host: host(),
             frame,
             event: make(),
         };
         JOURNAL.with(|j| j.borrow_mut().push(rec));
     }
 
+    /// Emits an event attributed to the thread's current host scope. The
+    /// closure runs only while a journal is recording.
+    #[inline]
+    pub fn emit(frame: Option<u64>, make: impl FnOnce() -> Event) {
+        push(|| HOST.with(|c| c.get()), frame, make);
+    }
+
     /// Emits an event with an explicit host (world-level emission sites
     /// know their host index directly).
     #[inline]
     pub fn emit_at(host: u16, frame: Option<u64>, make: impl FnOnce() -> Event) {
-        if !journal_enabled() {
-            return;
-        }
-        let rec = Record {
-            time: CLOCK.with(|c| c.get()),
-            host: Some(host),
-            frame,
-            event: make(),
-        };
-        JOURNAL.with(|j| j.borrow_mut().push(rec));
+        push(move || Some(host), frame, make);
     }
 
     /// Sets the journal clock; called by the simulation engine as it
@@ -663,5 +713,62 @@ mod tests {
             render(&recs),
             "1 h- f- nic_tx len=5\n2 h- f- ring_drop ch=9\n"
         );
+    }
+
+    #[test]
+    fn render_is_stable_on_timestamp_ties() {
+        let a = Record {
+            time: 5,
+            host: Some(1),
+            frame: Some(3),
+            event: Event::NicTx { len: 9 },
+        };
+        let b = Record {
+            time: 5,
+            host: Some(0),
+            frame: Some(7),
+            event: Event::RingDrop { channel: 2 },
+        };
+        // Same tick, opposite emission orders: render must agree.
+        let fwd = render(&[a.clone(), b.clone()]);
+        let rev = render(&[b.clone(), a.clone()]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, format!("{}\n{}\n", b.line(), a.line()));
+        // The input slices themselves are untouched (joins need emission
+        // order).
+        let recs = [a.clone(), b.clone()];
+        let _ = render(&recs);
+        assert_eq!(recs[0], a);
+        assert_eq!(recs[1], b);
+    }
+
+    #[test]
+    fn render_json_is_shaped() {
+        let recs = vec![
+            Record {
+                time: 10,
+                host: Some(1),
+                frame: Some(4),
+                event: Event::DemuxClassify {
+                    path: PathKind::FlowTable,
+                    filter_instrs: 8,
+                    matched: true,
+                },
+            },
+            Record {
+                time: 11,
+                host: None,
+                frame: None,
+                event: Event::NicTx { len: 60 },
+            },
+        ];
+        let j = render_json(&recs);
+        assert!(j.contains("\"event\": \"demux_classify\""));
+        assert!(j.contains("\"path\": \"flow\""), "labels stay quoted");
+        assert!(j.contains("\"instrs\": 8"), "numbers go bare");
+        assert!(j.contains("\"matched\": true"), "bools go bare");
+        assert_eq!(j.matches('{').count(), 2);
+        assert_eq!(j.matches('}').count(), 2);
+        assert!(j.trim_end().ends_with(']'));
     }
 }

@@ -1,5 +1,6 @@
-//! The typed metrics registry: counters, gauges, and nearest-rank
-//! histograms keyed by enums, plus per-connection and per-channel scopes.
+//! The typed metrics registry: counters, gauges, and bounded log-linear
+//! histograms keyed by enums, plus per-connection and per-channel scopes
+//! and point-in-time [`Snapshot`]s for windowed rate telemetry.
 //!
 //! Replaces the stringly `Trace` that `core::world` carried: a counter
 //! bump is now an array index instead of a `BTreeMap<&str, _>` probe, a
@@ -45,8 +46,12 @@ metric_enum! {
         ChBatched => "ch_batched",
         /// Frames delivered into connection channels.
         ChDeliveries => "ch_deliveries",
+        /// Channel deliveries decided by the exact-match flow table.
+        ChFlowHits => "ch_flow_hits",
         /// Frames dropped because a channel ring was full or slots too small.
         ChRingDrops => "ch_ring_drops",
+        /// Channel deliveries decided by the linear filter scan.
+        ChScanFallbacks => "ch_scan_fallbacks",
         /// Connections that closed normally.
         ConnectionsClosed => "connections_closed",
         /// Connections that completed establishment.
@@ -107,6 +112,13 @@ metric_enum! {
         TcpBadChecksum => "tcp_bad_checksum",
         /// TCP segments too short to parse.
         TcpMalformed => "tcp_malformed",
+        /// Data bytes TCP retransmitted (RTO fires and fast retransmits),
+        /// harvested live from the connection blocks for rate windows.
+        TcpRexmitBytes => "tcp_rexmit_bytes",
+        /// Retransmitted segments (RTO fires and fast retransmits).
+        TcpRexmitSegs => "tcp_rexmit_segs",
+        /// RTT estimator samples taken across all connections.
+        TcpRttSamples => "tcp_rtt_samples",
         /// Transmissions rejected by the template check.
         TxTemplateRejections => "tx_template_rejections",
         /// UDP datagrams that failed validation.
@@ -137,9 +149,138 @@ metric_enum! {
         AppDeliverBytes => "app_deliver_bytes",
         /// A connection's final smoothed RTT at teardown, nanoseconds.
         ConnSrtt => "conn_srtt_ns",
+        /// Channel ring occupancy observed at each enqueue (after the
+        /// push) — the live backlog a windowed sampler watches.
+        RingDepth => "ring_depth",
         /// Frames consumed per library wakeup (the notification-batching
         /// win: >1 means one semaphore covered several packets).
         WakeupBatchFrames => "wakeup_batch_frames",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded log-linear histogram
+// ---------------------------------------------------------------------
+
+/// Values below this are binned exactly (one bucket per value).
+const EXACT: u64 = 256;
+/// Sub-buckets per power of two above the exact range (2^5 = 32).
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: 256 exact + 32 per octave for octaves 8..=63.
+const NBUCKETS: usize = EXACT as usize + (64 - 8) * SUBS;
+
+/// A bounded log-linear histogram: fixed worst-case footprint (2048
+/// `u64` buckets, allocated lazily on the first sample) no matter how
+/// many samples are recorded, with rank queries answered by a cumulative
+/// scan — no per-query sort, no retained sample vector.
+///
+/// # Error bounds
+///
+/// Values below 256 are binned exactly. Above that, each power of two is
+/// split into 32 sub-buckets, so a quantile's reported value is the lower
+/// bound of its bucket: at most 1/32 (~3.1%) below the true sample.
+/// `min`, `max`, the 0.0- and 1.0-quantiles, and the mean are always
+/// exact (`sum`/`count` are kept at full precision).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// Empty until the first sample, then exactly `NBUCKETS` long.
+    buckets: Vec<u64>,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // 8..=63 here
+        let sub = ((v >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        EXACT as usize + (exp as usize - 8) * SUBS + sub
+    }
+}
+
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < EXACT as usize {
+        idx as u64
+    } else {
+        let rel = idx - EXACT as usize;
+        let exp = 8 + (rel / SUBS) as u32;
+        let sub = (rel % SUBS) as u64;
+        (1u64 << exp) + (sub << (exp - SUB_BITS))
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (no bucket storage until a sample).
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        self.max = self.max.max(v);
+        self.sum += v as u128;
+        self.count += 1;
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NBUCKETS];
+        }
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample (exact), or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (exact), or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `p`-quantile (0.0..=1.0) by nearest rank, or `None` if empty.
+    /// The extremes are exact (`min`/`max`); interior quantiles report
+    /// their bucket's lower bound (≤ 3.1% below the true sample — see the
+    /// type docs).
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Some(bucket_floor(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max) // unreachable: cum reaches count
     }
 }
 
@@ -236,7 +377,7 @@ pub struct ChannelScope {
 pub struct Metrics {
     counters: Vec<u64>,
     gauges: Vec<u64>,
-    hists: Vec<Vec<u64>>,
+    hists: Vec<Histogram>,
     conns: BTreeMap<ConnKey, ConnScope>,
     channels: BTreeMap<(u16, u32), ChannelScope>,
     links: BTreeMap<(u16, u16), LinkScope>,
@@ -254,7 +395,7 @@ impl Metrics {
         Metrics {
             counters: vec![0; Ctr::ALL.len()],
             gauges: vec![0; Gauge::ALL.len()],
-            hists: vec![Vec::new(); Hist::ALL.len()],
+            hists: vec![Histogram::new(); Hist::ALL.len()],
             conns: BTreeMap::new(),
             channels: BTreeMap::new(),
             links: BTreeMap::new(),
@@ -316,34 +457,38 @@ impl Metrics {
     /// Records a sample.
     #[inline]
     pub fn sample(&mut self, h: Hist, v: u64) {
-        self.hists[h as usize].push(v);
+        self.hists[h as usize].record(v);
     }
 
-    /// All samples recorded under `h`, in recording order.
-    pub fn samples(&self, h: Hist) -> &[u64] {
+    /// The full histogram recorded under `h`.
+    pub fn hist(&self, h: Hist) -> &Histogram {
         &self.hists[h as usize]
     }
 
-    /// Mean of the samples under `h`, or `None` if there are none.
+    /// Exact mean of the samples under `h`, or `None` if there are none.
     pub fn mean(&self, h: Hist) -> Option<f64> {
-        let s = self.samples(h);
-        if s.is_empty() {
-            None
-        } else {
-            Some(s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64)
-        }
+        self.hists[h as usize].mean()
     }
 
     /// The `p`-quantile (0.0..=1.0) of samples under `h` by nearest rank,
-    /// or `None` if there are none.
+    /// or `None` if there are none. See [`Histogram::quantile`] for the
+    /// documented error bound.
     pub fn quantile(&self, h: Hist, p: f64) -> Option<u64> {
-        let mut s = self.samples(h).to_vec();
-        if s.is_empty() {
-            return None;
+        self.hists[h as usize].quantile(p)
+    }
+
+    // ---- snapshots ----
+
+    /// A point-in-time copy of the counters, gauges, and histogram totals,
+    /// stamped with the sim clock. Two snapshots delimit a [`Window`].
+    pub fn snapshot(&self, now: Nanos) -> Snapshot {
+        Snapshot {
+            time: now,
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hist_counts: self.hists.iter().map(Histogram::count).collect(),
+            hist_sums: self.hists.iter().map(Histogram::sum).collect(),
         }
-        s.sort_unstable();
-        let idx = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
-        Some(s[idx])
     }
 
     // ---- scopes ----
@@ -378,6 +523,235 @@ impl Metrics {
     pub fn links(&self) -> impl Iterator<Item = (&(u16, u16), &LinkScope)> + '_ {
         self.links.iter()
     }
+
+    // ---- export ----
+
+    /// Serializes the registry as JSON (hand-rolled: the workspace is
+    /// dependency-free by design): non-zero counters, gauges, histogram
+    /// summaries, and the per-connection/channel/link scopes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in self.counters() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{name}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, &g) in Gauge::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{}\": {}",
+                if i > 0 { "," } else { "" },
+                g.name(),
+                self.gauge(g)
+            ));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, &h) in Hist::ALL.iter().enumerate() {
+            let hist = self.hist(h);
+            out.push_str(&format!(
+                "{}\n    \"{}\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
+                if i > 0 { "," } else { "" },
+                h.name(),
+                hist.count(),
+                hist.mean().unwrap_or(0.0),
+                hist.quantile(0.5).unwrap_or(0),
+                hist.quantile(0.99).unwrap_or(0),
+                hist.min().unwrap_or(0),
+                hist.max().unwrap_or(0),
+            ));
+        }
+        out.push_str("\n  },\n  \"connections\": [");
+        for (i, (k, c)) in self.conns().enumerate() {
+            out.push_str(&format!(
+                "{}\n    {{\"conn\": \"{k}\", \"segs_out\": {}, \"segs_in\": {}, \"bytes_to_app\": {}, \"bytes_rexmit\": {}, \"flow_hits\": {}, \"scan_fallbacks\": {}, \"srtt_ns\": {}}}",
+                if i > 0 { "," } else { "" },
+                c.segs_out,
+                c.segs_in,
+                c.bytes_to_app,
+                c.bytes_rexmit,
+                c.flow_hits,
+                c.scan_fallbacks,
+                c.srtt.map_or("null".into(), |v| v.to_string()),
+            ));
+        }
+        out.push_str("\n  ],\n  \"channels\": [");
+        for (i, ((host, id), ch)) in self.channels().enumerate() {
+            out.push_str(&format!(
+                "{}\n    {{\"host\": {host}, \"channel\": {id}, \"delivered\": {}, \"batched\": {}, \"flow_hits\": {}, \"scan_fallbacks\": {}}}",
+                if i > 0 { "," } else { "" },
+                ch.delivered,
+                ch.batched,
+                ch.flow_hits,
+                ch.scan_fallbacks,
+            ));
+        }
+        out.push_str("\n  ],\n  \"links\": [");
+        for (i, ((from, to), l)) in self.links().enumerate() {
+            out.push_str(&format!(
+                "{}\n    {{\"from\": {from}, \"to\": {to}, \"drops\": {}, \"dups\": {}, \"reorders\": {}, \"corrupts\": {}, \"outage_drops\": {}}}",
+                if i > 0 { "," } else { "" },
+                l.drops,
+                l.dups,
+                l.reorders,
+                l.corrupts,
+                l.outage_drops,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Windowed telemetry
+// ---------------------------------------------------------------------
+
+/// A point-in-time copy of the registry's counters, gauges, and histogram
+/// totals (counts and sums — the full bucket arrays are not copied).
+/// Taken with [`Metrics::snapshot`]; two snapshots bound a [`Window`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Sim time the snapshot was taken (caller-supplied engine clock).
+    pub time: Nanos,
+    counters: Vec<u64>,
+    gauges: Vec<u64>,
+    hist_counts: Vec<u64>,
+    hist_sums: Vec<u128>,
+}
+
+impl Snapshot {
+    /// Reads a counter as of this snapshot.
+    pub fn get(&self, c: Ctr) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Reads a gauge as of this snapshot.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// The delta window from `earlier` to `self`. Counters are monotonic,
+    /// so deltas saturate at zero if the snapshots are passed reversed.
+    pub fn window_since(&self, earlier: &Snapshot) -> Window {
+        Window {
+            start: earlier.time,
+            end: self.time,
+            counters: self
+                .counters
+                .iter()
+                .zip(&earlier.counters)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            gauges: self.gauges.clone(),
+            hist_counts: self
+                .hist_counts
+                .iter()
+                .zip(&earlier.hist_counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            hist_sums: self
+                .hist_sums
+                .iter()
+                .zip(&earlier.hist_sums)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+/// One sim-time telemetry window: counter/histogram deltas between two
+/// [`Snapshot`]s plus the gauge levels at the window's end, with derived
+/// rates (pps, retransmit rate, flow-hit rate, ring occupancy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Window {
+    /// Window start (earlier snapshot's sim time).
+    pub start: Nanos,
+    /// Window end (later snapshot's sim time).
+    pub end: Nanos,
+    counters: Vec<u64>,
+    gauges: Vec<u64>,
+    hist_counts: Vec<u64>,
+    hist_sums: Vec<u128>,
+}
+
+impl Window {
+    /// Window length in simulated nanoseconds.
+    pub fn duration(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Counter delta over the window.
+    pub fn delta(&self, c: Ctr) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Counter rate over the window, per second of sim time (0.0 for an
+    /// empty window).
+    pub fn per_sec(&self, c: Ctr) -> f64 {
+        let d = self.duration();
+        if d == 0 {
+            0.0
+        } else {
+            self.delta(c) as f64 * 1e9 / d as f64
+        }
+    }
+
+    /// Gauge level at the window's end.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// Samples recorded under `h` during the window, and their sum.
+    pub fn hist_delta(&self, h: Hist) -> (u64, u128) {
+        (self.hist_counts[h as usize], self.hist_sums[h as usize])
+    }
+
+    /// Mean of the samples recorded under `h` during the window, or
+    /// `None` if the window recorded none.
+    pub fn hist_mean(&self, h: Hist) -> Option<f64> {
+        let (n, sum) = self.hist_delta(h);
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+
+    /// Frames received per second of sim time.
+    pub fn rx_pps(&self) -> f64 {
+        self.per_sec(Ctr::FramesReceived)
+    }
+
+    /// Frames sent per second of sim time.
+    pub fn tx_pps(&self) -> f64 {
+        self.per_sec(Ctr::FramesSent)
+    }
+
+    /// Retransmitted segments per second of sim time.
+    pub fn rexmit_per_sec(&self) -> f64 {
+        self.per_sec(Ctr::TcpRexmitSegs)
+    }
+
+    /// Retransmitted segments as a share of frames sent in the window
+    /// (approximate: a frame usually carries one segment), or `None` if
+    /// nothing was sent.
+    pub fn rexmit_share(&self) -> Option<f64> {
+        let sent = self.delta(Ctr::FramesSent);
+        (sent > 0).then(|| self.delta(Ctr::TcpRexmitSegs) as f64 / sent as f64)
+    }
+
+    /// Share of channel deliveries the flow table decided this window, or
+    /// `None` if no software delivery was classified.
+    pub fn flow_hit_rate(&self) -> Option<f64> {
+        let flow = self.delta(Ctr::ChFlowHits);
+        let scan = self.delta(Ctr::ChScanFallbacks);
+        (flow + scan > 0).then(|| flow as f64 / (flow + scan) as f64)
+    }
+
+    /// Mean ring occupancy observed at enqueue during the window, or
+    /// `None` if nothing was enqueued.
+    pub fn mean_ring_depth(&self) -> Option<f64> {
+        self.hist_mean(Hist::RingDepth)
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +781,15 @@ mod tests {
     }
 
     #[test]
+    fn hist_labels_are_sorted_and_unique() {
+        let names: Vec<_> = Hist::ALL.iter().map(|h| h.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "declare Hist variants in label order");
+    }
+
+    #[test]
     fn gauges_saturate() {
         let mut m = Metrics::new();
         m.gauge_dec(Gauge::ActiveConnections);
@@ -419,6 +802,8 @@ mod tests {
 
     #[test]
     fn nearest_rank_quantiles() {
+        // Values below 256 are binned exactly, so the pre-rework answers
+        // still hold to the digit.
         let mut m = Metrics::new();
         for v in [10, 20, 30, 40] {
             m.sample(Hist::ConnSrtt, v);
@@ -429,6 +814,155 @@ mod tests {
         assert_eq!(m.quantile(Hist::ConnSrtt, 0.0), Some(10));
         assert_eq!(m.mean(Hist::WakeupBatchFrames), None);
         assert_eq!(m.quantile(Hist::WakeupBatchFrames, 0.5), None);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty.
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+
+        // Single sample: every quantile is that sample, exactly, even in
+        // the log-bucketed range.
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), Some(1_000_003));
+        }
+        assert_eq!(h.mean(), Some(1_000_003.0));
+
+        // p = 0.0 and 1.0 are exact min/max regardless of bucketing.
+        let mut h = Histogram::new();
+        for v in [977, 35_001, 12_345_679] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(977));
+        assert_eq!(h.quantile(1.0), Some(12_345_679));
+
+        // Heavy duplicates: the repeated value dominates every interior
+        // rank; 300 falls in a log bucket whose floor is within the
+        // documented 1/32 bound.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(300);
+        }
+        h.record(1);
+        h.record(100_000);
+        let q = h.quantile(0.5).unwrap();
+        assert!(
+            q <= 300 && 300 - q <= 300 / 32 + 1,
+            "p50 {q} outside the 1/32 error band around 300"
+        );
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(100_000));
+    }
+
+    #[test]
+    fn histogram_memory_is_bounded_and_error_banded() {
+        // A million spread-out samples must not grow storage past the
+        // fixed bucket array, and every quantile must respect the 1/32
+        // relative error bound against a sorted reference.
+        let mut h = Histogram::new();
+        let mut reference = Vec::new();
+        let mut x = 1u64;
+        for _ in 0..1_000_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x % 50_000_000;
+            h.record(v);
+            reference.push(v);
+        }
+        assert_eq!(h.count(), 1_000_000);
+        assert!(h.buckets.len() == NBUCKETS, "storage must stay fixed");
+        reference.sort_unstable();
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let approx = h.quantile(p).unwrap() as f64;
+            let idx = ((p * reference.len() as f64).ceil() as usize).clamp(1, reference.len()) - 1;
+            let exact = reference[idx] as f64;
+            // The reported value is the exact quantile's bucket floor: at
+            // most 1/32 below it, never above.
+            assert!(
+                approx <= exact && (exact - approx) / exact.max(1.0) <= 1.0 / 32.0,
+                "quantile p={p}: {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_round_trip_preserves_order_and_bound() {
+        for v in [0, 1, 255, 256, 257, 1000, 65_535, 1 << 20, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            if v >= EXACT {
+                assert!(
+                    (v - floor) as f64 / v as f64 <= 1.0 / 32.0,
+                    "bucket floor {floor} more than 1/32 below {v}"
+                );
+            } else {
+                assert_eq!(floor, v);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_windows_do_delta_arithmetic() {
+        let mut m = Metrics::new();
+        let s0 = m.snapshot(0);
+        m.add(Ctr::FramesReceived, 100);
+        m.add(Ctr::FramesSent, 50);
+        m.add(Ctr::TcpRexmitSegs, 5);
+        m.add(Ctr::ChFlowHits, 90);
+        m.add(Ctr::ChScanFallbacks, 10);
+        m.gauge_inc(Gauge::ActiveConnections);
+        m.sample(Hist::RingDepth, 2);
+        m.sample(Hist::RingDepth, 4);
+        let s1 = m.snapshot(1_000_000_000); // 1 s of sim time
+        let w = s1.window_since(&s0);
+        assert_eq!(w.duration(), 1_000_000_000);
+        assert_eq!(w.delta(Ctr::FramesReceived), 100);
+        assert_eq!(w.rx_pps(), 100.0);
+        assert_eq!(w.tx_pps(), 50.0);
+        assert_eq!(w.rexmit_per_sec(), 5.0);
+        assert_eq!(w.rexmit_share(), Some(0.1));
+        assert_eq!(w.flow_hit_rate(), Some(0.9));
+        assert_eq!(w.mean_ring_depth(), Some(3.0));
+        assert_eq!(w.gauge(Gauge::ActiveConnections), 1);
+
+        // The second window sees only the second slice's activity.
+        m.add(Ctr::FramesReceived, 20);
+        let s2 = m.snapshot(3_000_000_000);
+        let w2 = s2.window_since(&s1);
+        assert_eq!(w2.duration(), 2_000_000_000);
+        assert_eq!(w2.delta(Ctr::FramesReceived), 20);
+        assert_eq!(w2.rx_pps(), 10.0);
+        assert_eq!(w2.rexmit_share(), None, "nothing sent this window");
+        assert_eq!(w2.flow_hit_rate(), None);
+        assert_eq!(w2.mean_ring_depth(), None);
+        // Windows compose: (s0 -> s2) equals the sum of the two slices.
+        let total = s2.window_since(&s0);
+        assert_eq!(
+            total.delta(Ctr::FramesReceived),
+            w.delta(Ctr::FramesReceived) + w2.delta(Ctr::FramesReceived)
+        );
+
+        // Reversed snapshots saturate rather than wrap.
+        let rev = s0.window_since(&s2);
+        assert_eq!(rev.delta(Ctr::FramesReceived), 0);
+    }
+
+    #[test]
+    fn zero_length_window_has_zero_rates() {
+        let m = Metrics::new();
+        let s = m.snapshot(500);
+        let w = s.window_since(&s);
+        assert_eq!(w.duration(), 0);
+        assert_eq!(w.rx_pps(), 0.0);
+        assert_eq!(w.per_sec(Ctr::FramesSent), 0.0);
     }
 
     #[test]
@@ -448,5 +982,26 @@ mod tests {
 
         m.channel(1, 7).delivered += 9;
         assert_eq!(m.channels().next().unwrap().1.delivered, 9);
+    }
+
+    #[test]
+    fn metrics_json_is_shaped() {
+        let mut m = Metrics::new();
+        m.bump(Ctr::FramesSent);
+        m.sample(Hist::AppDeliverBytes, 4096);
+        m.conn(ConnKey {
+            host: 0,
+            local_port: 2000,
+            remote_ip: [10, 0, 0, 2],
+            remote_port: 80,
+        })
+        .segs_out = 7;
+        m.link(0, 1).drops = 2;
+        let j = m.to_json();
+        assert!(j.contains("\"frames_sent\": 1"));
+        assert!(j.contains("\"app_deliver_bytes\""));
+        assert!(j.contains("\"segs_out\": 7"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 }

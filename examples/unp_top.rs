@@ -1,0 +1,215 @@
+//! `top` for the user-level stack — windowed telemetry plus a post-run
+//! critical-path latency profile.
+//!
+//! ```text
+//! cargo run --release --example unp_top
+//! cargo run --release --example unp_top -- --redraw   # ANSI live redraw
+//! ```
+//!
+//! Three concurrent bulk transfers run through the user-level library
+//! organization over a mildly lossy link. The simulation is stepped in
+//! 100 ms slices; each slice takes a [`Snapshot`] of the metrics
+//! registry and prints the *rates over the window* — packets per
+//! second, retransmit rate, flow-table hit rate, ring occupancy — the
+//! way `top` shows deltas rather than lifetime totals. When the
+//! transfers retire, the recorded packet journal is joined into
+//! per-frame path traces and the end-to-end latency decomposition is
+//! printed per stage, followed by folded flamegraph lines.
+
+use std::rc::Rc;
+
+use unp::core::app::{BulkSender, SinkApp, TransferStats};
+use unp::core::faults::FaultPlan;
+use unp::core::world::{build_two_hosts, connect, install_faults, listen, Network, OrgKind};
+use unp::sim::fmt_nanos;
+use unp::tcp::TcpConfig;
+use unp::trace::{Gauge, Hist, PathOutcome, Profile, Stage};
+use unp::wire::Ipv4Addr;
+
+fn main() {
+    let redraw = std::env::args().any(|a| a == "--redraw");
+
+    let (mut world, mut engine) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
+    let host1_addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    // Record the journal from the very first SYN so the profiler sees
+    // every frame's full path. (With the `trace` feature off this is a
+    // no-op and the profile section below reports an empty journal.)
+    unp::trace::journal_start();
+
+    let transfers = [
+        (80u16, 400_000u64, 4096usize),
+        (81, 200_000, 1024),
+        (82, 100_000, 512),
+    ];
+    let mut stats = Vec::new();
+    for &(port, total, user_packet) in &transfers {
+        let st = TransferStats::new_shared();
+        let st2 = Rc::clone(&st);
+        listen(
+            &mut world,
+            1,
+            port,
+            TcpConfig::bulk_transfer(),
+            Box::new(move || Box::new(SinkApp::new(Rc::clone(&st2)))),
+        );
+        connect(
+            &mut world,
+            &mut engine,
+            0,
+            (host1_addr, port),
+            TcpConfig::bulk_transfer(),
+            Box::new(BulkSender::new(total, user_packet)),
+            user_packet,
+        );
+        stats.push((port, total, st));
+    }
+
+    // 1% seeded loss (with half-rate duplication, corruption and
+    // reordering) so the retransmit columns have something to show.
+    install_faults(&mut world, &mut engine, FaultPlan::lossy(7, 0.01));
+
+    let header = format!(
+        "{:<9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>9} {:>5}",
+        "sim time",
+        "rx pps",
+        "tx pps",
+        "rexmit/s",
+        "rex %",
+        "flow %",
+        "ring avg",
+        "batch avg",
+        "conns"
+    );
+    if !redraw {
+        println!("{header}");
+    }
+
+    let slice = 100_000_000; // 100 ms of simulated time per window
+    let mut deadline = slice;
+    let mut prev = world.metrics.snapshot(engine.now());
+    let mut rows: Vec<String> = Vec::new();
+    loop {
+        engine.run_until(&mut world, deadline);
+        let snap = world.metrics.snapshot(engine.now());
+        let w = snap.window_since(&prev);
+        let row = format!(
+            "{:<9} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>8} {:>9} {:>5}",
+            fmt_nanos(snap.time),
+            w.rx_pps(),
+            w.tx_pps(),
+            w.rexmit_per_sec(),
+            w.rexmit_share()
+                .map_or("-".into(), |r| format!("{:.1}", r * 100.0)),
+            w.flow_hit_rate()
+                .map_or("-".into(), |r| format!("{:.1}", r * 100.0)),
+            w.mean_ring_depth()
+                .map_or("-".into(), |d| format!("{d:.2}")),
+            w.hist_mean(Hist::WakeupBatchFrames)
+                .map_or("-".into(), |b| format!("{b:.2}")),
+            snap.gauge(Gauge::ActiveConnections),
+        );
+        if redraw {
+            // Home the cursor and repaint the whole table each slice, the
+            // way `top` does; the scrollback stays clean.
+            rows.push(row);
+            print!("\x1b[2J\x1b[H{header}\n{}\n", rows.join("\n"));
+        } else {
+            println!("{row}");
+        }
+        prev = snap;
+        let done = stats
+            .iter()
+            .all(|(_, total, st)| st.borrow().bytes_received == *total);
+        if done || deadline > 300_000_000_000 {
+            break;
+        }
+        deadline += slice;
+    }
+    // Drain the close handshakes and 2MSL timers so the journal ends on
+    // a quiet wire and every in-flight frame reaches an outcome.
+    engine.run(&mut world, u64::MAX);
+    println!();
+
+    for (port, total, st) in &stats {
+        let s = st.borrow();
+        println!(
+            "transfer :{port}  {} / {} bytes, {:.2} Mb/s",
+            s.bytes_received,
+            total,
+            s.throughput_bps().unwrap_or(0.0) / 1e6
+        );
+        assert_eq!(s.bytes_received, *total, "transfer on :{port} incomplete");
+    }
+    println!();
+
+    // Join the journal into per-frame path traces and decompose the
+    // delivered frames' end-to-end latency by pipeline stage.
+    let records = unp::trace::journal_stop();
+    if records.is_empty() {
+        println!("(journal empty — build with the default `trace` feature for the profile)");
+        return;
+    }
+    let profile = Profile::build(&records);
+    profile
+        .check_consistency()
+        .expect("profiler invariants hold");
+
+    println!(
+        "-- path outcomes ({} frames traced) --",
+        profile.traces.len()
+    );
+    for o in PathOutcome::ALL {
+        let n = profile.outcome_count(o);
+        if n > 0 {
+            println!("  {:<17} {n:>7}", o.label());
+        }
+    }
+    println!();
+
+    println!(
+        "-- receive-path latency decomposition ({} delivered frames) --",
+        profile.delivered()
+    );
+    println!(
+        "{:<15} {:>7} {:>12} {:>12} {:>12} {:>7}",
+        "stage", "frames", "mean", "p50", "p99", "share"
+    );
+    let total_ns: u128 = profile.stages.iter().map(|h| h.sum()).sum();
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        let h = &profile.stages[i];
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<15} {:>7} {:>12} {:>12} {:>12} {:>6.1}%",
+            stage.label(),
+            h.count(),
+            h.mean().map_or("-".into(), |m| fmt_nanos(m as u64)),
+            h.quantile(0.5).map_or("-".into(), fmt_nanos),
+            h.quantile(0.99).map_or("-".into(), fmt_nanos),
+            100.0 * h.sum() as f64 / total_ns.max(1) as f64,
+        );
+    }
+    println!(
+        "{:<15} {:>7} {:>12} {:>12} {:>12}",
+        "end-to-end",
+        profile.end_to_end.count(),
+        profile
+            .end_to_end
+            .mean()
+            .map_or("-".into(), |m| fmt_nanos(m as u64)),
+        profile
+            .end_to_end
+            .quantile(0.5)
+            .map_or("-".into(), fmt_nanos),
+        profile
+            .end_to_end
+            .quantile(0.99)
+            .map_or("-".into(), fmt_nanos),
+    );
+    println!();
+
+    println!("-- folded stacks (flamegraph input) --");
+    print!("{}", profile.folded());
+}
