@@ -68,4 +68,12 @@ echo "== profile perf gate vs. BENCH_profile_baseline.json =="
 cargo run -q -p unp-bench --release --offline --bin repro-tables -- \
   --profile-gate BENCH_profile_baseline.json
 
+# Churn-scaling gate: channel activate/teardown is maintained
+# incrementally (O(log N) per event), so a create→activate→destroy cycle
+# at 4096 channels must stay within a constant factor of the same cycle
+# at 64 channels. A regression to the old O(N) rebuild-per-event shows up
+# as a ~50x ratio and fails the bound.
+echo "== demux churn-scaling gate (4096 vs 64 channels) =="
+cargo run -q -p unp-bench --release --offline --bin repro-tables -- --churn-gate
+
 echo "CI gate passed."

@@ -16,7 +16,14 @@
 //! cargo run -p unp-bench --release --bin repro-tables -- --profile
 //! #   also join the journal into per-frame path traces, print the
 //! #   per-stage latency decomposition and the 8→4096-channel churn
-//! #   sweep (rebuild_active timing), and write BENCH_profile.json
+//! #   sweep (rebuild_active timing), write BENCH_profile.json, then run
+//! #   the 8→10^6-channel mixed-population scale sweep (incremental
+//! #   churn, per-tier classify, memory footprint) and write
+//! #   BENCH_demux_scale.json
+//! cargo run -p unp-bench --release --bin repro-tables -- --churn-gate
+//! #   CI gate: per-event channel churn at 4096 channels must stay within
+//! #   a constant factor of 64 channels (incremental maintenance must not
+//! #   scale with the population); exit 1 otherwise; skips the tables
 //! cargo run -p unp-bench --release --bin repro-tables -- --profile-baseline
 //! #   (re)generate BENCH_profile_baseline.json for the CI perf gate
 //! #   from the quick workload; skips the tables
@@ -26,7 +33,7 @@
 //! #   warn on improvement; skips the tables
 //! ```
 
-use unp_bench::{demux, profile, tables, timings, trace};
+use unp_bench::{demux, profile, scale, tables, timings, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,12 +42,30 @@ fn main() {
     let want_trace = args.iter().any(|a| a == "--trace" || a == "trace");
     let want_profile = args.iter().any(|a| a == "--profile" || a == "profile");
     let want_baseline = args.iter().any(|a| a == "--profile-baseline");
+    let want_churn_gate = args.iter().any(|a| a == "--churn-gate");
     let gate_path = args
         .iter()
         .position(|a| a == "--profile-gate")
         .map(|i| args.get(i + 1).expect("--profile-gate <baseline>").clone());
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     let rounds = if quick { 10 } else { 30 };
+
+    if want_churn_gate {
+        let (at_64, at_4096) = scale::churn_gate_measure();
+        let ratio = at_4096 / at_64;
+        println!(
+            "churn gate: create+activate+destroy {at_64:.1} ns @ 64 channels, {at_4096:.1} ns @ 4096 ({ratio:.2}x, bound {:.0}x)",
+            scale::CHURN_GATE_FACTOR
+        );
+        if ratio > scale::CHURN_GATE_FACTOR {
+            eprintln!(
+                "churn gate FAILED: per-event churn scaled {ratio:.2}x from 64 to 4096 channels (bound {:.0}x) — incremental maintenance has regressed to O(N)",
+                scale::CHURN_GATE_FACTOR
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // The gate/baseline modes are CI tools: deterministic quick workload,
     // no table regeneration.
@@ -144,6 +169,13 @@ fn main() {
         profile::print_report(&rows, &churn);
         let json = profile::to_json(&rows, &churn, profile_total);
         let path = "BENCH_profile.json";
+        std::fs::write(path, &json).expect("write benchmark json");
+        println!("wrote {path}");
+
+        let points = scale::scale_sweep();
+        scale::print_report(&points);
+        let json = scale::to_json(&points);
+        let path = "BENCH_demux_scale.json";
         std::fs::write(path, &json).expect("write benchmark json");
         println!("wrote {path}");
     }

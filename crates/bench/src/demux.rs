@@ -68,13 +68,23 @@ impl DemuxSection {
 const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
 pub(crate) fn spec_for(i: usize) -> DemuxSpec {
+    // Unique (remote ip, remote port) per index without u8/u16 overflow up
+    // to well past 10^6 channels: the low 60 000 indices cycle the port
+    // space, the high bits land in the second IP octet. For i < 60 000
+    // this is byte-identical to the historical single-octet scheme.
+    let (hi, lo) = (i / 60_000, i % 60_000);
     DemuxSpec {
         link_header_len: 14,
         protocol: IpProtocol::Tcp,
         local_ip: LOCAL,
         local_port: 80,
-        remote_ip: Some(Ipv4Addr::new(10, 1, (i / 250) as u8, (i % 250) as u8)),
-        remote_port: Some(1024 + i as u16),
+        remote_ip: Some(Ipv4Addr::new(
+            10,
+            1 + hi as u8,
+            (lo / 250) as u8,
+            (lo % 250) as u8,
+        )),
+        remote_port: Some(1024 + lo as u16),
     }
 }
 
@@ -97,10 +107,17 @@ pub(crate) fn template_for(spec: &DemuxSpec) -> HeaderTemplate {
 /// the last-installed one — the linear scan's worst case, the flow table's
 /// indifferent case.
 pub fn populated_module(n: usize) -> (NetIoModule, Vec<u8>) {
+    populated_module_slots(n, 8)
+}
+
+/// [`populated_module`] with the ring-slot count exposed: the 10^5–10^6
+/// scale sweep uses one-slot rings so channel-count, not ring capacity,
+/// dominates the measured footprint.
+pub fn populated_module_slots(n: usize, slots: usize) -> (NetIoModule, Vec<u8>) {
     let mut m = NetIoModule::new();
     for i in 0..n {
         let spec = spec_for(i);
-        let (id, ..) = m.create_channel(OwnerTag(1), &spec, template_for(&spec), 8, 2048);
+        let (id, ..) = m.create_channel(OwnerTag(1), &spec, template_for(&spec), slots, 2048);
         m.activate(id);
     }
     let last = spec_for(n - 1);
@@ -204,6 +221,7 @@ pub fn workload_stats(total: u64) -> DemuxStats {
     for h in &w.hosts {
         let s = h.netio.demux_stats();
         sum.flow_hits += s.flow_hits;
+        sum.listen_hits += s.listen_hits;
         sum.scan_fallbacks += s.scan_fallbacks;
         sum.packets += s.packets;
         sum.filter_instrs += s.filter_instrs;
@@ -224,11 +242,12 @@ pub fn print_report(d: &DemuxSection) {
     let w = &d.workload;
     println!("== Demux fast path: Table-2 bulk workload (software demux) ==");
     println!(
-        "  {} packets: {} flow-table hits, {} scan fallbacks ({:.1}% fast path)",
+        "  {} packets: {} flow-table hits, {} listen-table hits, {} scan fallbacks ({:.1}% keyed fast path)",
         w.packets,
         w.flow_hits,
+        w.listen_hits,
         w.scan_fallbacks,
-        w.flow_hit_rate() * 100.0
+        w.keyed_hit_rate() * 100.0
     );
     println!(
         "  avg modeled filter instructions per packet: {:.1} (scan-equivalent; unchanged by the fast path)",
@@ -263,11 +282,13 @@ pub fn to_json(d: &DemuxSection) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"benchmark\": \"flow_table_demux\",\n");
     out.push_str(&format!(
-        "  \"workload\": {{\"table\": 2, \"packets\": {}, \"flow_hits\": {}, \"scan_fallbacks\": {}, \"flow_hit_rate\": {:.4}, \"avg_filter_instrs\": {:.2}}},\n",
+        "  \"workload\": {{\"table\": 2, \"packets\": {}, \"flow_hits\": {}, \"listen_hits\": {}, \"scan_fallbacks\": {}, \"flow_hit_rate\": {:.4}, \"keyed_hit_rate\": {:.4}, \"avg_filter_instrs\": {:.2}}},\n",
         w.packets,
         w.flow_hits,
+        w.listen_hits,
         w.scan_fallbacks,
         w.flow_hit_rate(),
+        w.keyed_hit_rate(),
         w.avg_filter_instrs()
     ));
     out.push_str("  \"scaling\": [\n");
@@ -343,7 +364,8 @@ mod tests {
     fn json_is_shaped() {
         let d = DemuxSection {
             workload: DemuxStats {
-                flow_hits: 90,
+                flow_hits: 85,
+                listen_hits: 5,
                 scan_fallbacks: 10,
                 packets: 100,
                 filter_instrs: 700,

@@ -9,6 +9,7 @@
 
 pub mod demux;
 pub mod profile;
+pub mod scale;
 pub mod tables;
 pub mod timings;
 pub mod trace;

@@ -1316,6 +1316,7 @@ fn userlib_ip_input(
             // the push — what a windowed sampler watches.
             match path {
                 DemuxPath::FlowTable => w.metrics.bump(Ctr::ChFlowHits),
+                DemuxPath::ListenTable => w.metrics.bump(Ctr::ChListenHits),
                 DemuxPath::FilterScan => w.metrics.bump(Ctr::ChScanFallbacks),
                 DemuxPath::Hardware => {}
             }
@@ -1676,6 +1677,7 @@ fn apply_registry_actions(w: &mut World, eng: &mut Eng, h: usize, actions: Vec<R
                     w.hosts[h].hs_by_chan.remove(&setup.chan.id);
                     w.hosts[h].netio.destroy_channel(setup.chan.id, OwnerTag(0));
                     w.metrics.gauge_dec(Gauge::OpenChannels);
+                    sync_demux_gauges(w);
                 }
                 if let Some(mut app) = w.hosts[h].pending_apps.remove(&hs.0) {
                     let view = crate::app::AppView {
@@ -1690,6 +1692,21 @@ fn apply_registry_actions(w: &mut World, eng: &mut Eng, h: usize, actions: Vec<R
             }
         }
     }
+}
+
+/// Re-derives the demux table-size gauges from the kernel modules.
+/// Called wherever `OpenChannels` moves so the flow/listen entry counts
+/// in the metrics windows track channel churn exactly; set (not inc/dec)
+/// because a destroyed channel may have lived in either keyed table or
+/// in neither (residual scan tier).
+fn sync_demux_gauges(w: &mut World) {
+    let (mut flow, mut listen) = (0u64, 0u64);
+    for host in &w.hosts {
+        flow += host.netio.flow_table_len() as u64;
+        listen += host.netio.listen_table_len() as u64;
+    }
+    w.metrics.gauge_set(Gauge::DemuxFlowEntries, flow);
+    w.metrics.gauge_set(Gauge::DemuxListenEntries, listen);
 }
 
 /// Creates the channel, template, and (on AN1) BQI for a handshake the
@@ -1738,6 +1755,7 @@ fn ensure_hs_setup(w: &mut World, h: usize, hs: HsId, repr: &TcpRepr, remote: Ip
             .netio
             .create_channel(owner, &spec, template, 768, mtu + lhl + 8);
     w.metrics.gauge_inc(Gauge::OpenChannels);
+    sync_demux_gauges(w);
     let our_bqi = match &mut w.hosts[h].nic {
         Nic::An1(nic) => nic.bqi_table.allocate(owner, ring).unwrap_or(0),
         Nic::Lance(_) => 0,
@@ -1835,6 +1853,7 @@ fn listener_vanished(w: &mut World, eng: &mut Eng, h: usize, chan: ChanInfo, tcb
             .free(chan.our_bqi, unp_buffers::BqiTable::KERNEL_OWNER);
     }
     w.metrics.gauge_dec(Gauge::OpenChannels);
+    sync_demux_gauges(w);
     if let Some(cs) = stats {
         w.hosts[h]
             .registry
@@ -2158,14 +2177,17 @@ fn retire_conn_stats(
             scope.rx_delivered = cs.delivered;
             scope.rx_batched = cs.batched;
             scope.flow_hits = cs.flow_hits;
+            scope.listen_hits = cs.listen_hits;
             scope.scan_fallbacks = cs.scan_fallbacks;
         }
         let ch = w.metrics.channel(key.host, chid.0);
         ch.delivered = cs.delivered;
         ch.batched = cs.batched;
         ch.flow_hits = cs.flow_hits;
+        ch.listen_hits = cs.listen_hits;
         ch.scan_fallbacks = cs.scan_fallbacks;
         w.metrics.gauge_dec(Gauge::OpenChannels);
+        sync_demux_gauges(w);
         w.hosts[h]
             .registry
             .record_channel_stats(key.local_port, tcb.remote(), cs);
@@ -2462,6 +2484,7 @@ pub fn crash_host(w: &mut World, eng: &mut Eng, host: usize) {
                 .free(setup.chan.our_bqi, unp_buffers::BqiTable::KERNEL_OWNER);
         }
         w.metrics.gauge_dec(Gauge::OpenChannels);
+        sync_demux_gauges(w);
         reclaim(w, ReclaimKind::Channel, setup.chan.id.0);
     }
     // Stage 2a: established connections take the normal abnormal-exit
@@ -2488,6 +2511,7 @@ pub fn crash_host(w: &mut World, eng: &mut Eng, host: usize) {
         w.hosts[host].chan_to_conn.remove(&id);
         w.hosts[host].hs_by_chan.remove(&id);
         w.metrics.gauge_dec(Gauge::OpenChannels);
+        sync_demux_gauges(w);
         reclaim(w, ReclaimKind::Channel, id.0);
     }
     let freed = match &mut w.hosts[host].nic {

@@ -6,7 +6,7 @@
 //! builders synthesize equivalent programs for each of the three demux
 //! technologies from a single [`DemuxSpec`].
 
-use unp_wire::{FlowKey, IpProtocol, Ipv4Addr};
+use unp_wire::{FlowKey, IpProtocol, Ipv4Addr, ListenKey};
 
 use crate::bpf::{BpfInstr, BpfProgram};
 use crate::cspf::{CspfInstr, CspfProgram};
@@ -47,6 +47,29 @@ impl DemuxSpec {
             local_port: self.local_port,
             remote_ip: self.remote_ip?,
             remote_port: self.remote_port?,
+        })
+    }
+
+    /// Distills the spec into a wildcard-match [`ListenKey`], or `None`
+    /// unless **both** remote fields are wildcarded (listening sockets,
+    /// unconnected UDP). Half-specified specs — one remote field pinned —
+    /// fit neither table and stay on the scan tier.
+    ///
+    /// A fully-wildcard spec accepts a frame **iff**
+    /// `ListenKey::extract(frame, spec.link_header_len)` yields exactly
+    /// this key: its filter is the fully-specified filter minus the two
+    /// remote-field compares, and those compares read bytes that are
+    /// present whenever the local-field compares ran, so dropping them
+    /// changes *which* frames pass only by the remote fields the key
+    /// projection also drops.
+    pub fn distill_listen(&self) -> Option<ListenKey> {
+        if self.remote_ip.is_some() || self.remote_port.is_some() {
+            return None;
+        }
+        Some(ListenKey {
+            protocol: self.protocol.to_u8(),
+            local_ip: self.local_ip,
+            local_port: self.local_port,
         })
     }
 }
@@ -296,6 +319,90 @@ mod tests {
                 filt.matches(&f),
                 FlowKey::extract(&f, spec.link_header_len) == Some(key),
                 "filter and key lookup must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn distill_listen_requires_fully_wildcard_remote() {
+        let spec = |rip, rport| DemuxSpec {
+            link_header_len: 14,
+            protocol: IpProtocol::Udp,
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+            local_port: 53,
+            remote_ip: rip,
+            remote_port: rport,
+        };
+        let key = spec(None, None).distill_listen().expect("fully wildcard");
+        assert_eq!(key.protocol, IpProtocol::Udp.to_u8());
+        assert_eq!(
+            (key.local_ip, key.local_port),
+            (Ipv4Addr::new(10, 0, 0, 1), 53)
+        );
+        // Half-specified specs fit neither table.
+        assert!(spec(None, Some(9)).distill_listen().is_none());
+        assert!(spec(Some(Ipv4Addr::new(10, 0, 0, 2)), None)
+            .distill_listen()
+            .is_none());
+        let full = spec(Some(Ipv4Addr::new(10, 0, 0, 2)), Some(9));
+        assert!(full.distill_listen().is_none());
+        assert!(full.distill().is_some());
+    }
+
+    #[test]
+    fn distilled_listen_key_matches_iff_filter_matches() {
+        // The 3-tuple-tier invariant: for a fully-wildcard spec, the
+        // compiled filter accepts a frame exactly when the frame's
+        // extracted local projection equals the distilled listen key.
+        use crate::CompiledDemux;
+        use unp_wire::{EtherType, EthernetRepr, Ipv4Repr, MacAddr, UdpRepr};
+        let us = Ipv4Addr::new(10, 0, 0, 2);
+        let them = Ipv4Addr::new(10, 0, 0, 1);
+        let spec = DemuxSpec {
+            link_header_len: 14,
+            protocol: IpProtocol::Udp,
+            local_ip: us,
+            local_port: 53,
+            remote_ip: None,
+            remote_port: None,
+        };
+        let key = spec.distill_listen().unwrap();
+        let filt = CompiledDemux::from_spec(&spec);
+        let frame = |src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16| {
+            let dgram = UdpRepr {
+                src_port: sp,
+                dst_port: dp,
+            }
+            .build_datagram(src, dst, b"x");
+            let ip = Ipv4Repr::simple(src, dst, IpProtocol::Udp, dgram.len());
+            EthernetRepr {
+                dst: MacAddr::from_host_index(2),
+                src: MacAddr::from_host_index(1),
+                ethertype: EtherType::Ipv4,
+            }
+            .build_frame(&ip.build_packet(&dgram))
+        };
+        let frames = [
+            frame(them, us, 4000, 53),
+            frame(them, us, 9999, 53), // any remote port: still a hit
+            frame(Ipv4Addr::new(10, 0, 0, 7), us, 4000, 53), // any remote ip
+            frame(them, us, 4000, 54), // wrong local port
+            frame(us, them, 4000, 53), // wrong local ip
+        ];
+        for f in &frames {
+            assert_eq!(
+                filt.matches(f),
+                ListenKey::extract(f, spec.link_header_len) == Some(key),
+                "wildcard filter and listen-key lookup must agree"
+            );
+        }
+        // Truncations fail both sides identically.
+        let f = &frames[0];
+        for len in 0..f.len() {
+            assert_eq!(
+                filt.matches(&f[..len]),
+                ListenKey::extract(&f[..len], spec.link_header_len) == Some(key),
+                "len {len}"
             );
         }
     }

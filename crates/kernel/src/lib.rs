@@ -31,21 +31,85 @@ pub mod template;
 pub use ports::{PortId, PortSpace};
 pub use template::{HeaderTemplate, TemplateViolation};
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use unp_buffers::{Frame, OwnerTag, RingId};
 use unp_filter::programs::DemuxSpec;
 use unp_filter::{CompiledDemux, Demux};
 pub use unp_sim::DemuxPath;
-use unp_wire::FlowKey;
+use unp_wire::{FlowKey, ListenKey};
 
 /// Maps the cost model's path enum onto the journal's (the trace crate
 /// sits below `unp-sim` and cannot import it).
 fn path_kind(path: DemuxPath) -> unp_trace::PathKind {
     match path {
         DemuxPath::FlowTable => unp_trace::PathKind::FlowTable,
+        DemuxPath::ListenTable => unp_trace::PathKind::ListenTable,
         DemuxPath::FilterScan => unp_trace::PathKind::FilterScan,
         DemuxPath::Hardware => unp_trace::PathKind::Hardware,
+    }
+}
+
+/// Which demultiplexing tier a channel's spec distilled into at
+/// installation. Each channel lives in exactly one tier, so the keyed
+/// tables and the residual scan set partition the active population —
+/// which is what lets the cross-tier winner be picked by id comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowSlot {
+    /// Fully-specified connection binding: exact-match 5-tuple table.
+    Exact(FlowKey),
+    /// Fully-wildcard remote (listening/unconnected-UDP): 3-tuple table.
+    Listen(ListenKey),
+    /// No keyed identity (half-wildcard remote, mismatched link framing):
+    /// residual filter scan.
+    Scan,
+}
+
+/// Fenwick (binary-indexed) tree over channel ids holding each **active**
+/// channel's filter instruction count. `prefix(id + 1)` is exactly the
+/// instructions a linear scan interprets through channel `id` inclusive,
+/// so the scan-equivalent cost accounting survives with activation and
+/// teardown as O(log n) point updates instead of an O(n) rebuild of
+/// prefix-sum arrays.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct InstrFenwick {
+    /// Standard 1-based Fenwick layout stored 0-based: `tree[i - 1]`
+    /// covers the `lowbit(i)` positions ending at 1-based position `i`.
+    tree: Vec<usize>,
+}
+
+impl InstrFenwick {
+    /// Extends coverage to `n` positions; new positions hold zero. An
+    /// appended node spans `lowbit` *existing* positions, so it must be
+    /// seeded with their sum — zero-filling would corrupt later prefixes.
+    /// Channel ids mint monotonically, so growth is always an append.
+    fn grow_to(&mut self, n: usize) {
+        while self.tree.len() < n {
+            let i = self.tree.len() + 1; // 1-based index of the new node
+            let lowbit = i & i.wrapping_neg();
+            let seed = self.prefix(i - 1) - self.prefix(i - lowbit);
+            self.tree.push(seed);
+        }
+    }
+
+    /// Adds `delta` to the value at 0-based position `pos`.
+    fn add(&mut self, pos: usize, delta: isize) {
+        let mut i = pos + 1;
+        while i <= self.tree.len() {
+            self.tree[i - 1] = (self.tree[i - 1] as isize + delta) as usize;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of the values at 0-based positions `0..n`.
+    fn prefix(&self, n: usize) -> usize {
+        let mut i = n.min(self.tree.len());
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i - 1];
+            i &= i - 1;
+        }
+        sum
     }
 }
 
@@ -137,11 +201,10 @@ struct Channel {
     rx_ring: VecDeque<Frame>,
     template: HeaderTemplate,
     demux: CompiledDemux,
-    /// The spec's exact-match identity, when it has one (fully-specified
-    /// connection bindings whose link-header length matches the module's).
-    /// `None` channels — wildcards, fragments-only oddities, mismatched
-    /// link framing — are decided by the filter scan.
-    flow: Option<FlowKey>,
+    /// The demux tier the spec distilled into: exact 5-tuple, wildcard
+    /// 3-tuple, or the residual scan (half-wildcards, mismatched link
+    /// framing). Fixed at installation.
+    slot: FlowSlot,
     /// Software demux only fires once the registry activates the binding
     /// at connection-establishment completion; until then, traffic for the
     /// endpoint still flows to the kernel default path (the registry).
@@ -150,10 +213,16 @@ struct Channel {
     notify_pending: bool,
     /// AN1: the ring id registered in the NIC's BQI table.
     ring_id: Option<RingId>,
+    /// The raw values of the two capabilities minted for this channel, so
+    /// teardown revokes exactly them instead of sweeping the whole
+    /// capability map (an O(total caps) hidden churn term).
+    cap_ids: [u64; 2],
     rx_delivered: u64,
     rx_batched: u64,
     /// Software deliveries this channel received via the flow table.
     flow_hits: u64,
+    /// Software deliveries this channel received via the listen table.
+    listen_hits: u64,
     /// Software deliveries that went through the filter scan instead.
     scan_fallbacks: u64,
 }
@@ -169,6 +238,8 @@ pub struct ChannelStats {
     pub batched: u64,
     /// Software deliveries decided by the exact-match flow table.
     pub flow_hits: u64,
+    /// Software deliveries decided by the wildcard 3-tuple listen table.
+    pub listen_hits: u64,
     /// Software deliveries decided by the filter scan.
     pub scan_fallbacks: u64,
 }
@@ -177,10 +248,12 @@ pub struct ChannelStats {
 /// [`NetIoModule::demux_stats`] for the `repro-tables` demux section.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DemuxStats {
-    /// Frames whose delivery was decided by the flow table.
+    /// Frames whose delivery was decided by the exact-match flow table.
     pub flow_hits: u64,
-    /// Frames decided by the filter scan (wildcard bindings, fragments,
-    /// non-IP frames, and kernel-default misses).
+    /// Frames whose delivery was decided by the 3-tuple listen table.
+    pub listen_hits: u64,
+    /// Frames decided by the filter scan (half-wildcard bindings,
+    /// fragments, non-IP frames, and kernel-default misses).
     pub scan_fallbacks: u64,
     /// Total frames through [`NetIoModule::deliver_software`].
     pub packets: u64,
@@ -205,23 +278,42 @@ impl DemuxStats {
         }
         self.flow_hits as f64 / self.packets as f64
     }
+
+    /// Fraction decided by either keyed table (flow or listen) — the
+    /// frames that skipped filter interpretation entirely.
+    pub fn keyed_hit_rate(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        (self.flow_hits + self.listen_hits) as f64 / self.packets as f64
+    }
 }
 
 /// The network I/O module for one device. See module docs.
 ///
-/// Software demultiplexing is two-tiered. At channel installation each
+/// Software demultiplexing is three-tiered. At channel installation each
 /// [`DemuxSpec`] is *distilled*: fully-specified connection bindings (the
 /// common case the registry installs at connection setup) become entries in
-/// an exact-match flow table keyed by the frame's 5-tuple, so delivery is
-/// one [`FlowKey::extract`] parse plus one hash lookup — O(1) in the number
-/// of connections. Wildcard bindings (and frames with no exact-match
-/// identity: fragments, non-IP) fall back to the paper-era filter scan over
-/// a cached, insertion-maintained id ordering. Correctness invariant: the
-/// two tiers always agree with a pure linear scan — a flow-table hit is
-/// only taken after any lower-id wildcard binding has had its filter run
-/// (scan order is id order, first match wins), and a distilled binding can
-/// never match a frame whose key differs from its own
-/// (`DemuxSpec::distill`'s iff guarantee).
+/// an exact-match flow table keyed by the frame's 5-tuple; fully-wildcard
+/// bindings (listening sockets, unconnected UDP) become entries in a
+/// 3-tuple listen table keyed by the frame's local projection. Either way
+/// delivery is one [`FlowKey::extract`] parse plus hash lookups — O(1) in
+/// the number of bindings. Only the residual — half-wildcard specs,
+/// mismatched link framing, and frames with no keyed identity (fragments,
+/// non-IP) — falls back to the paper-era filter scan. Correctness
+/// invariant: the tiers always agree with a pure linear scan — a keyed hit
+/// is only taken after any lower-id residual binding has had its filter
+/// run (scan order is id order, first match wins), the cross-table winner
+/// is the lower id (the tiers partition the channels), and a distilled
+/// binding can never match a frame whose key differs from its own
+/// (`DemuxSpec::distill`/`distill_listen`'s iff guarantees).
+///
+/// Tier maintenance is **incremental**: activation and teardown patch the
+/// tables, the id order, and the scan-cost accounting in place (O(log n)
+/// point updates on [`InstrFenwick`]) rather than rebuilding O(n) caches
+/// per connection event, so churn stays flat into the 10⁵–10⁶-channel
+/// range. [`NetIoModule::force_rebuild_active`] remains the from-scratch
+/// oracle the incremental structures are validated against.
 pub struct NetIoModule {
     channels: HashMap<u32, Channel>,
     caps: HashMap<u64, CapEntry>,
@@ -230,22 +322,26 @@ pub struct NetIoModule {
     /// ascending (duplicates possible; the scan-equivalent winner is the
     /// lowest *active* id).
     flow_table: HashMap<FlowKey, Vec<u32>>,
-    /// Link-header length the flow table extracts keys with, fixed by the
+    /// Wildcard tier: 3-tuple → ids of fully-wildcard channels distilled
+    /// to that key, ascending.
+    listen_table: HashMap<ListenKey, Vec<u32>>,
+    /// Link-header length the keyed tables extract keys with, fixed by the
     /// first distillable channel (one module serves one device, so all its
     /// channels share framing; a mismatched spec stays on the scan tier).
     flow_lhl: Option<usize>,
     /// All channel ids, ascending — the scan order, maintained on
     /// install/teardown instead of collected and sorted per packet.
     scan_order: Vec<u32>,
-    /// Active channel ids, ascending (the ids a scan actually visits).
-    active_ids: Vec<u32>,
-    /// `active_prefix[i]` = total filter instructions of `active_ids[..i]`;
-    /// the scan charges `active_prefix[i + 1]` when `active_ids[i]`
-    /// accepts, letting the fast path report scan-identical costs in O(1).
-    active_prefix: Vec<usize>,
-    /// Active channels *not* in the flow table, ascending — the only
-    /// filters a flow-table decision must still consult.
-    active_wild: Vec<u32>,
+    /// Per-id active filter instruction counts as a Fenwick tree:
+    /// `instr_fen.prefix(id + 1)` is the scan-equivalent cost through
+    /// `id`, maintained by point updates on activation and teardown.
+    instr_fen: InstrFenwick,
+    /// Total filter instructions across all active channels — what a scan
+    /// interprets on a miss — maintained incrementally.
+    total_active_instrs: usize,
+    /// Active channels on *neither* keyed table, ascending — the only
+    /// filters a keyed decision must still consult.
+    residual: BTreeSet<u32>,
     demux_stats: DemuxStats,
     /// Slow-consumer fault model: when set, every ring behaves as if it
     /// had at most this many slots, so overload sheds packets at the
@@ -276,11 +372,12 @@ impl NetIoModule {
             caps: HashMap::new(),
             ring_index: HashMap::new(),
             flow_table: HashMap::new(),
+            listen_table: HashMap::new(),
             flow_lhl: None,
             scan_order: Vec::new(),
-            active_ids: Vec::new(),
-            active_prefix: vec![0],
-            active_wild: Vec::new(),
+            instr_fen: InstrFenwick::default(),
+            total_active_instrs: 0,
+            residual: BTreeSet::new(),
             demux_stats: DemuxStats::default(),
             pressure_cap: None,
             next_channel: 0,
@@ -312,16 +409,30 @@ impl NetIoModule {
         self.next_channel += 1;
         let ring_id = RingId(self.next_ring);
         self.next_ring += 1;
-        // Distill the spec into its exact-match identity. The first
-        // distillable channel pins the module's key-extraction framing;
-        // later specs with different framing stay on the scan tier.
-        let flow = spec
-            .distill()
-            .filter(|_| *self.flow_lhl.get_or_insert(spec.link_header_len) == spec.link_header_len);
-        if let Some(key) = flow {
-            // Ids are minted ascending, so pushing keeps each entry sorted.
-            self.flow_table.entry(key).or_default().push(id.0);
-        }
+        // Distill the spec into its keyed identity, if any. The first
+        // distillable channel (either tier) pins the module's
+        // key-extraction framing; later specs with different framing stay
+        // on the scan tier. Ids are minted ascending, so pushing keeps
+        // each table entry sorted.
+        let slot = if let Some(key) = spec.distill() {
+            if *self.flow_lhl.get_or_insert(spec.link_header_len) == spec.link_header_len {
+                self.flow_table.entry(key).or_default().push(id.0);
+                FlowSlot::Exact(key)
+            } else {
+                FlowSlot::Scan
+            }
+        } else if let Some(key) = spec.distill_listen() {
+            if *self.flow_lhl.get_or_insert(spec.link_header_len) == spec.link_header_len {
+                self.listen_table.entry(key).or_default().push(id.0);
+                FlowSlot::Listen(key)
+            } else {
+                FlowSlot::Scan
+            }
+        } else {
+            FlowSlot::Scan
+        };
+        let send = self.issue_cap(id, Right::Send);
+        let recv = self.issue_cap(id, Right::Receive);
         let ch = Channel {
             owner,
             capacity: region_slots,
@@ -329,59 +440,94 @@ impl NetIoModule {
             rx_ring: VecDeque::with_capacity(region_slots),
             template,
             demux: CompiledDemux::from_spec(spec),
-            flow,
+            slot,
             active: false,
             notify_pending: false,
             ring_id: Some(ring_id),
+            cap_ids: [send.0, recv.0],
             rx_delivered: 0,
             rx_batched: 0,
             flow_hits: 0,
+            listen_hits: 0,
             scan_fallbacks: 0,
         };
         self.channels.insert(id.0, ch);
         self.scan_order.push(id.0); // ascending mint order = scan order
+        self.instr_fen.grow_to(self.next_channel as usize);
         self.ring_index.insert(ring_id, id);
-        let send = self.issue_cap(id, Right::Send);
-        let recv = self.issue_cap(id, Right::Receive);
         (id, send, recv, ring_id)
     }
 
-    /// Rebuilds the active-channel scan caches (id order, instruction
-    /// prefix sums, wildcard subset). Called on activation and teardown —
-    /// per-connection events — so the per-packet path never sorts or
-    /// allocates.
-    fn rebuild_active(&mut self) {
-        self.active_ids.clear();
-        self.active_wild.clear();
-        self.active_prefix.clear();
-        self.active_prefix.push(0);
-        let mut sum = 0usize;
+    /// Computes the incremental demux caches — the per-id instruction
+    /// Fenwick, the active-instruction total, and the residual scan set —
+    /// from scratch. This is the oracle the per-event maintenance in
+    /// [`NetIoModule::activate`] and [`NetIoModule::destroy_channel`] is
+    /// validated against.
+    fn compute_caches(&self) -> (InstrFenwick, usize, BTreeSet<u32>) {
+        let mut fen = InstrFenwick::default();
+        fen.grow_to(self.next_channel as usize);
+        let mut total = 0usize;
+        let mut residual = BTreeSet::new();
         for &id in &self.scan_order {
             let ch = &self.channels[&id];
             if !ch.active {
                 continue;
             }
-            self.active_ids.push(id);
-            sum += ch.demux.instruction_count();
-            self.active_prefix.push(sum);
-            if ch.flow.is_none() {
-                self.active_wild.push(id);
+            let n = ch.demux.instruction_count();
+            fen.add(id as usize, n as isize);
+            total += n;
+            if ch.slot == FlowSlot::Scan {
+                residual.insert(id);
             }
         }
+        (fen, total, residual)
     }
 
-    /// Benchmark hook: runs one [`rebuild_active`](Self::rebuild_active)
-    /// pass so profilers can time the churn cost (the O(active channels)
-    /// cache rebuild every activation and teardown pays) in isolation.
+    /// Replaces the incremental caches with a from-scratch rebuild.
+    fn rebuild_active(&mut self) {
+        let (fen, total, residual) = self.compute_caches();
+        self.instr_fen = fen;
+        self.total_active_instrs = total;
+        self.residual = residual;
+    }
+
+    /// Oracle hook: rebuilds the demux caches from scratch, as every
+    /// activation and teardown did before maintenance went incremental.
+    /// Benchmarks time it to report what a churn event used to cost; tests
+    /// call it to confirm the incremental state matches a fresh build.
     pub fn force_rebuild_active(&mut self) {
         self.rebuild_active();
     }
 
+    /// True when the incrementally-maintained caches equal a from-scratch
+    /// rebuild — the invariant [`NetIoModule::activate`] and
+    /// [`NetIoModule::destroy_channel`] preserve. Exposed for the
+    /// differential tests; debug builds also assert it after each churn
+    /// event on small populations.
+    pub fn caches_match_rebuild(&self) -> bool {
+        let (fen, total, residual) = self.compute_caches();
+        fen == self.instr_fen && total == self.total_active_instrs && residual == self.residual
+    }
+
+    /// Debug-build churn validation. Capped to small populations because
+    /// the check is O(n) and would turn property-test churn quadratic.
+    #[cfg(debug_assertions)]
+    fn debug_validate_caches(&self) {
+        if self.channels.len() <= 64 {
+            debug_assert!(
+                self.caches_match_rebuild(),
+                "incremental demux caches diverged from a fresh rebuild"
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_validate_caches(&self) {}
+
     /// The filter instructions a linear scan interprets before `id`
     /// accepts: every earlier active binding's full program plus `id`'s.
     fn scan_equiv_instrs(&self, id: u32) -> usize {
-        let pos = self.active_ids.binary_search(&id).expect("active channel");
-        self.active_prefix[pos + 1]
+        self.instr_fen.prefix(id as usize + 1)
     }
 
     fn issue_cap(&mut self, channel: ChannelId, right: Right) -> Capability {
@@ -403,18 +549,51 @@ impl NetIoModule {
         if let Some(ring) = ch.ring_id {
             self.ring_index.remove(&ring);
         }
-        if let Some(key) = ch.flow {
-            if let Some(ids) = self.flow_table.get_mut(&key) {
-                ids.retain(|&i| i != id.0);
-                if ids.is_empty() {
-                    self.flow_table.remove(&key);
+        // Table entries hold ascending ids: binary-search remove, and drop
+        // the entry when its last binding goes.
+        match ch.slot {
+            FlowSlot::Exact(key) => {
+                if let Some(ids) = self.flow_table.get_mut(&key) {
+                    if let Ok(pos) = ids.binary_search(&id.0) {
+                        ids.remove(pos);
+                    }
+                    if ids.is_empty() {
+                        self.flow_table.remove(&key);
+                    }
                 }
             }
+            FlowSlot::Listen(key) => {
+                if let Some(ids) = self.listen_table.get_mut(&key) {
+                    if let Ok(pos) = ids.binary_search(&id.0) {
+                        ids.remove(pos);
+                    }
+                    if ids.is_empty() {
+                        self.listen_table.remove(&key);
+                    }
+                }
+            }
+            FlowSlot::Scan => {}
         }
-        self.channels.remove(&id.0);
-        self.scan_order.retain(|&i| i != id.0);
-        self.rebuild_active();
-        self.caps.retain(|_, e| e.channel != id);
+        let ch = self.channels.remove(&id.0).expect("checked above");
+        if ch.active {
+            // Incremental cache maintenance: undo this channel's
+            // contribution instead of rebuilding everything.
+            let n = ch.demux.instruction_count();
+            self.instr_fen.add(id.0 as usize, -(n as isize));
+            self.total_active_instrs -= n;
+            self.residual.remove(&id.0);
+        }
+        // `scan_order` is ascending, so the O(n) retain sweep is a
+        // binary-search remove.
+        if let Ok(pos) = self.scan_order.binary_search(&id.0) {
+            self.scan_order.remove(pos);
+        }
+        // Revoke exactly this channel's two capabilities — not a sweep of
+        // the whole capability map.
+        for cap in ch.cap_ids {
+            self.caps.remove(&cap);
+        }
+        self.debug_validate_caches();
         true
     }
 
@@ -483,24 +662,34 @@ impl NetIoModule {
     /// `filter_instrs` is the scan-equivalent modeled cost. Exposed so the
     /// differential tests and benchmarks can exercise the decision alone.
     pub fn classify(&self, frame: &[u8]) -> (Option<ChannelId>, usize, DemuxPath) {
-        // Tier 1: exact-match lookup. The winner is the lowest active id
-        // distilled to the frame's key (ties between duplicate bindings
-        // resolve exactly as the scan would).
-        let flow_hit: Option<u32> = self
-            .flow_lhl
-            .and_then(|lhl| FlowKey::extract(frame, lhl))
-            .and_then(|key| self.flow_table.get(&key))
-            .and_then(|ids| ids.iter().copied().find(|id| self.channels[id].active));
-        // Tier 2: a lower-id wildcard binding shadows the flow hit (the
-        // scan runs filters in id order and first match wins), so those —
-        // and only those — filters must still run. On a flow miss no
-        // distilled binding can match (the distill/extract iff guarantee),
-        // so the scan reduces to the wildcard subset.
-        let limit = flow_hit.unwrap_or(u32::MAX);
-        for &id in &self.active_wild {
-            if id >= limit {
-                break;
-            }
+        // Keyed tiers: one 5-tuple parse serves both tables (the listen
+        // key is its local projection). Per table the winner is the lowest
+        // active id distilled to the frame's key (ties between duplicate
+        // bindings resolve exactly as the scan would); across tables the
+        // candidate is the lower of the two — each channel lives in
+        // exactly one tier, so that is the scan's first keyed match.
+        let key = self.flow_lhl.and_then(|lhl| FlowKey::extract(frame, lhl));
+        let lowest_active =
+            |ids: &Vec<u32>| ids.iter().copied().find(|id| self.channels[id].active);
+        let flow_hit: Option<u32> = key
+            .and_then(|k| self.flow_table.get(&k))
+            .and_then(lowest_active);
+        let listen_hit: Option<u32> = key
+            .and_then(|k| self.listen_table.get(&k.local()))
+            .and_then(lowest_active);
+        let (candidate, keyed_path) = match (flow_hit, listen_hit) {
+            (Some(f), Some(l)) if l < f => (Some(l), DemuxPath::ListenTable),
+            (Some(f), _) => (Some(f), DemuxPath::FlowTable),
+            (None, Some(l)) => (Some(l), DemuxPath::ListenTable),
+            (None, None) => (None, DemuxPath::FilterScan),
+        };
+        // Residual tier: a lower-id unkeyed binding shadows the keyed hit
+        // (the scan runs filters in id order and first match wins), so
+        // those — and only those — filters must still run. On a keyed
+        // miss no distilled binding can match (the distill/extract iff
+        // guarantees), so the scan reduces to the residual subset.
+        let limit = candidate.unwrap_or(u32::MAX);
+        for &id in self.residual.range(..limit) {
             if self.channels[&id].demux.matches(frame) {
                 return (
                     Some(ChannelId(id)),
@@ -509,17 +698,9 @@ impl NetIoModule {
                 );
             }
         }
-        match flow_hit {
-            Some(id) => (
-                Some(ChannelId(id)),
-                self.scan_equiv_instrs(id),
-                DemuxPath::FlowTable,
-            ),
-            None => (
-                None,
-                *self.active_prefix.last().expect("prefix never empty"),
-                DemuxPath::FilterScan,
-            ),
+        match candidate {
+            Some(id) => (Some(ChannelId(id)), self.scan_equiv_instrs(id), keyed_path),
+            None => (None, self.total_active_instrs, DemuxPath::FilterScan),
         }
     }
 
@@ -531,8 +712,11 @@ impl NetIoModule {
     /// flow table saves over it.
     pub fn classify_scan_reference(&self, frame: &[u8]) -> (Option<ChannelId>, usize) {
         let mut instrs = 0;
-        for &id in &self.active_ids {
+        for &id in &self.scan_order {
             let ch = &self.channels[&id];
+            if !ch.active {
+                continue;
+            }
             instrs += ch.demux.instruction_count();
             if ch.demux.matches(frame) {
                 return (Some(ChannelId(id)), instrs);
@@ -550,6 +734,7 @@ impl NetIoModule {
         self.demux_stats.filter_instrs += instrs as u64;
         match path {
             DemuxPath::FlowTable => self.demux_stats.flow_hits += 1,
+            DemuxPath::ListenTable => self.demux_stats.listen_hits += 1,
             _ => self.demux_stats.scan_fallbacks += 1,
         }
         unp_trace::emit(Some(frame.id()), || unp_trace::Event::DemuxClassify {
@@ -615,6 +800,7 @@ impl NetIoModule {
         ch.rx_delivered += 1;
         match path {
             DemuxPath::FlowTable => ch.flow_hits += 1,
+            DemuxPath::ListenTable => ch.listen_hits += 1,
             DemuxPath::FilterScan => ch.scan_fallbacks += 1,
             DemuxPath::Hardware => {}
         }
@@ -696,14 +882,23 @@ impl NetIoModule {
     /// activates the address demultiplexing mechanism as part of the
     /// connection establishment phase").
     pub fn activate(&mut self, id: ChannelId) -> bool {
-        match self.channels.get_mut(&id.0) {
-            Some(ch) => {
-                ch.active = true;
-                self.rebuild_active();
-                true
+        let Some(ch) = self.channels.get_mut(&id.0) else {
+            return false;
+        };
+        if !ch.active {
+            ch.active = true;
+            // Incremental cache maintenance: point-add this channel's
+            // contribution instead of rebuilding everything.
+            let n = ch.demux.instruction_count();
+            let on_scan_tier = ch.slot == FlowSlot::Scan;
+            self.instr_fen.add(id.0 as usize, n as isize);
+            self.total_active_instrs += n;
+            if on_scan_tier {
+                self.residual.insert(id.0);
             }
-            None => false,
         }
+        self.debug_validate_caches();
+        true
     }
 
     /// Pins the AN1 BQI the channel's template requires on outgoing
@@ -724,6 +919,7 @@ impl NetIoModule {
             delivered: ch.rx_delivered,
             batched: ch.rx_batched,
             flow_hits: ch.flow_hits,
+            listen_hits: ch.listen_hits,
             scan_fallbacks: ch.scan_fallbacks,
         })
     }
@@ -733,9 +929,48 @@ impl NetIoModule {
         self.demux_stats
     }
 
-    /// Number of live flow-table entries (distilled bindings).
+    /// Number of live flow-table entries (exact-match distilled bindings).
     pub fn flow_table_len(&self) -> usize {
         self.flow_table.values().map(Vec::len).sum()
+    }
+
+    /// Number of live listen-table entries (wildcard distilled bindings).
+    pub fn listen_table_len(&self) -> usize {
+        self.listen_table.values().map(Vec::len).sum()
+    }
+
+    /// Approximate heap footprint, in bytes, of the demultiplexing
+    /// maintenance structures: both keyed tables, the scan order, the
+    /// instruction Fenwick, and the residual set. Channel state itself
+    /// (rings, templates, filters) is excluded — it exists under any demux
+    /// strategy; this is the price of the *fast path*, which the scale
+    /// sweep reports per channel count.
+    pub fn demux_mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let flow_buckets =
+            self.flow_table.capacity() * (size_of::<FlowKey>() + size_of::<Vec<u32>>());
+        let flow_ids: usize = self
+            .flow_table
+            .values()
+            .map(|v| v.capacity() * size_of::<u32>())
+            .sum();
+        let listen_buckets =
+            self.listen_table.capacity() * (size_of::<ListenKey>() + size_of::<Vec<u32>>());
+        let listen_ids: usize = self
+            .listen_table
+            .values()
+            .map(|v| v.capacity() * size_of::<u32>())
+            .sum();
+        // BTreeSet nodes carry roughly two words of overhead per element
+        // at our sizes; close enough for a footprint column.
+        let residual = self.residual.len() * (size_of::<u32>() + 2 * size_of::<usize>());
+        flow_buckets
+            + flow_ids
+            + listen_buckets
+            + listen_ids
+            + self.scan_order.capacity() * size_of::<u32>()
+            + self.instr_fen.tree.capacity() * size_of::<usize>()
+            + residual
     }
 }
 
@@ -855,7 +1090,7 @@ mod tests {
         let stats = m.channel_stats(id).unwrap();
         assert_eq!((stats.delivered, stats.batched), (4, 3));
         assert_eq!(
-            stats.flow_hits + stats.scan_fallbacks,
+            stats.flow_hits + stats.listen_hits + stats.scan_fallbacks,
             4,
             "every software delivery is attributed to a demux tier"
         );
@@ -1060,7 +1295,8 @@ mod tests {
     fn lower_id_wildcard_shadows_flow_hit() {
         // Channel 0: wildcard listener on port 80. Channel 1: exact binding
         // for the same traffic. A scan visits id 0 first, so the wildcard
-        // must win even though the flow table knows channel 1.
+        // must win even though the flow table knows channel 1 — and it wins
+        // from the listen table, not the residual scan.
         let mut m = NetIoModule::new();
         let (wild, ..) = m.create_channel(OwnerTag(1), &wildcard_spec(80), template(), 8, 2048);
         let (exact, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
@@ -1070,7 +1306,7 @@ mod tests {
         match m.deliver_software(&frame) {
             Delivery::Channel { id, path, .. } => {
                 assert_eq!(id, wild, "scan order must win");
-                assert_eq!(path, DemuxPath::FilterScan);
+                assert_eq!(path, DemuxPath::ListenTable);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1169,6 +1405,7 @@ mod tests {
         assert_eq!(ids, vec![dead1, dead2]);
         assert_eq!(m.channel_count(), 1);
         assert_eq!(m.flow_table_len(), 0, "dead flow entry swept");
+        assert_eq!(m.listen_table_len(), 1, "survivor's listen entry kept");
         // The survivor still receives.
         let frame = tcp_frame(THEM, US, 5000, 81);
         assert!(matches!(
@@ -1197,6 +1434,143 @@ mod tests {
             Delivery::Channel { .. }
         ));
         assert_eq!(m.consume(recv).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn listen_binding_takes_listen_table_path() {
+        let mut m = NetIoModule::new();
+        let (id, ..) = m.create_channel(OwnerTag(1), &wildcard_spec(80), template(), 8, 2048);
+        m.activate(id);
+        assert_eq!((m.flow_table_len(), m.listen_table_len()), (0, 1));
+        // Two different remote endpoints both land via the 3-tuple table —
+        // no filter interpretation on the host path.
+        for sport in [5000, 6000] {
+            let frame = tcp_frame(THEM, US, sport, 80);
+            match m.deliver_software(&frame) {
+                Delivery::Channel {
+                    id: did,
+                    path,
+                    filter_instrs,
+                    ..
+                } => {
+                    assert_eq!(did, id);
+                    assert_eq!(path, DemuxPath::ListenTable);
+                    // Scan-equivalent modeled cost: the wildcard program
+                    // is 5 instructions (no remote compares).
+                    assert_eq!(filter_instrs, 5);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let s = m.demux_stats();
+        assert_eq!((s.flow_hits, s.listen_hits, s.scan_fallbacks), (0, 2, 0));
+        let cs = m.channel_stats(id).unwrap();
+        assert_eq!(cs.listen_hits, 2);
+    }
+
+    #[test]
+    fn half_wildcard_binding_stays_on_scan_tier() {
+        let mut m = NetIoModule::new();
+        let half = DemuxSpec {
+            remote_port: None,
+            ..spec()
+        };
+        let (id, ..) = m.create_channel(OwnerTag(1), &half, template(), 8, 2048);
+        m.activate(id);
+        assert_eq!((m.flow_table_len(), m.listen_table_len()), (0, 0));
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        match m.deliver_software(&frame) {
+            Delivery::Channel { id: did, path, .. } => {
+                assert_eq!(did, id);
+                assert_eq!(path, DemuxPath::FilterScan);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_caches_match_rebuild_through_churn() {
+        // The oracle invariant behind the incremental maintenance: after
+        // any interleaving of create/activate/destroy, the patched-in-place
+        // caches equal a from-scratch rebuild, and classification results
+        // are unchanged by forcing that rebuild.
+        let mut m = NetIoModule::new();
+        let mut ids = Vec::new();
+        for i in 0..24u16 {
+            let s = match i % 3 {
+                0 => spec(),
+                1 => wildcard_spec(80 + i),
+                _ => DemuxSpec {
+                    remote_port: None,
+                    ..spec()
+                },
+            };
+            let (id, ..) = m.create_channel(OwnerTag(1), &s, template(), 8, 2048);
+            if i % 4 != 3 {
+                m.activate(id);
+            }
+            ids.push(id);
+            assert!(m.caches_match_rebuild(), "after install {i}");
+        }
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(m.destroy_channel(*id, OwnerTag(1)));
+                assert!(m.caches_match_rebuild(), "after destroy {i}");
+                let after = m.classify(&frame);
+                m.force_rebuild_active();
+                assert_eq!(m.classify(&frame), after, "rebuild must be a no-op");
+            }
+        }
+        // Re-activation of a live channel is idempotent.
+        for id in &ids[1..2] {
+            m.activate(*id);
+            m.activate(*id);
+            assert!(m.caches_match_rebuild());
+        }
+    }
+
+    #[test]
+    fn duplicate_listen_keys_resolve_to_lowest_active_id() {
+        let mut m = NetIoModule::new();
+        let (a, ..) = m.create_channel(OwnerTag(1), &wildcard_spec(80), template(), 8, 2048);
+        let (b, ..) = m.create_channel(OwnerTag(1), &wildcard_spec(80), template(), 8, 2048);
+        assert_eq!(m.listen_table_len(), 2);
+        m.activate(b);
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { id, .. } if id == b
+        ));
+        m.activate(a);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { id, .. } if id == a
+        ));
+        assert!(m.destroy_channel(a, OwnerTag(1)));
+        assert_eq!(m.listen_table_len(), 1);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { id, .. } if id == b
+        ));
+    }
+
+    #[test]
+    fn demux_mem_bytes_tracks_population() {
+        let mut m = NetIoModule::new();
+        let empty = m.demux_mem_bytes();
+        for i in 0..64u16 {
+            let s = DemuxSpec {
+                remote_port: Some(6000 + i),
+                ..spec()
+            };
+            let (id, ..) = m.create_channel(OwnerTag(1), &s, template(), 2, 256);
+            m.activate(id);
+        }
+        assert!(
+            m.demux_mem_bytes() > empty,
+            "footprint grows with the tables"
+        );
     }
 
     #[test]

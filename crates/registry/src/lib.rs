@@ -134,6 +134,26 @@ pub fn connection_demux_spec(
     spec
 }
 
+/// The demux binding for a listening endpoint: local address known, remote
+/// fully wildcard. Guaranteed distillable into a 3-tuple
+/// [`unp_wire::ListenKey`], so passive bindings land in the kernel's keyed
+/// listen table rather than the per-packet filter scan.
+pub fn listen_demux_spec(link_header_len: usize, local: (Ipv4Addr, u16)) -> DemuxSpec {
+    let spec = DemuxSpec {
+        link_header_len,
+        protocol: IpProtocol::Tcp,
+        local_ip: local.0,
+        local_port: local.1,
+        remote_ip: None,
+        remote_port: None,
+    };
+    debug_assert!(
+        spec.distill_listen().is_some(),
+        "listen specs are 3-tuple-match"
+    );
+    spec
+}
+
 /// Errors from registry calls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegistryError {
@@ -160,19 +180,20 @@ pub struct BindingReport {
 impl BindingReport {
     /// Deliveries the channel saw, before the threshold below applies.
     fn software_deliveries(&self) -> u64 {
-        self.stats.flow_hits + self.stats.scan_fallbacks
+        self.stats.flow_hits + self.stats.listen_hits + self.stats.scan_fallbacks
     }
 
-    /// True when the binding kept missing the flow-table fast path: enough
-    /// software traffic to judge, yet the filter scan decided most of it.
-    /// Connection setup always installs distillable (exact-match) specs,
-    /// so a flagged binding means a wildcard shadowed it or its framing
-    /// mismatched the module — worth surfacing, not silently eating the
-    /// per-packet scan cost.
+    /// True when the binding kept missing both keyed fast paths: enough
+    /// software traffic to judge, yet the residual filter scan decided
+    /// most of it. Connection setup always installs distillable
+    /// (exact-match) specs and passive bindings distill into the 3-tuple
+    /// listen table, so a flagged binding means a half-specified wildcard
+    /// shadowed it or its framing mismatched the module — worth
+    /// surfacing, not silently eating the per-packet scan cost.
     pub fn missed_fast_path(&self) -> bool {
         const MIN_DELIVERIES: u64 = 16;
         self.software_deliveries() >= MIN_DELIVERIES
-            && self.stats.scan_fallbacks > self.stats.flow_hits
+            && self.stats.scan_fallbacks > self.stats.flow_hits + self.stats.listen_hits
     }
 }
 
@@ -843,6 +864,7 @@ mod tests {
                 delivered: 100,
                 batched: 40,
                 flow_hits: 98,
+                listen_hits: 0,
                 scan_fallbacks: 2,
             },
         );
@@ -854,6 +876,7 @@ mod tests {
                 delivered: 30,
                 batched: 5,
                 flow_hits: 3,
+                listen_hits: 0,
                 scan_fallbacks: 27,
             },
         );
@@ -865,10 +888,23 @@ mod tests {
                 delivered: 4,
                 batched: 0,
                 flow_hits: 0,
+                listen_hits: 0,
                 scan_fallbacks: 4,
             },
         );
-        assert_eq!(r.binding_reports().len(), 3);
+        // Listen-table-heavy binding: keyed hits, so healthy, not flagged.
+        r.record_channel_stats(
+            83,
+            (IP_B, 5003),
+            ChannelStats {
+                delivered: 50,
+                batched: 10,
+                flow_hits: 0,
+                listen_hits: 45,
+                scan_fallbacks: 5,
+            },
+        );
+        assert_eq!(r.binding_reports().len(), 4);
         let flagged = r.flagged_bindings();
         assert_eq!(flagged.len(), 1);
         assert_eq!(flagged[0].local_port, 81);

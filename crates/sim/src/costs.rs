@@ -20,9 +20,13 @@ use crate::{Nanos, MICROS};
 pub enum DemuxPath {
     /// Exact-match flow-table lookup (O(1) in the number of bindings).
     FlowTable,
+    /// Wildcard 3-tuple (protocol, local ip, local port) table lookup —
+    /// listening and unconnected-UDP bindings, also O(1).
+    ListenTable,
     /// Linear scan interpreting each binding's filter program — the
     /// paper-era software path, and the fallback for frames or bindings
-    /// without an exact-match identity (fragments, wildcards).
+    /// without any keyed identity (fragments, non-IP, half-wildcard
+    /// bindings, mismatched link framing).
     FilterScan,
     /// The NIC classified the frame itself (AN1 BQI table).
     Hardware,
@@ -270,7 +274,10 @@ impl CostModel {
     /// scan model on both software paths).
     pub fn demux_cost(&self, path: DemuxPath, filter_instrs: usize) -> Nanos {
         match path {
-            DemuxPath::FlowTable => self.flow_demux,
+            // Either keyed tier is one hash probe plus one key compare;
+            // the 3-tuple probe hashes fewer bytes but the difference is
+            // below the model's resolution.
+            DemuxPath::FlowTable | DemuxPath::ListenTable => self.flow_demux,
             DemuxPath::FilterScan => self.filter_run(filter_instrs),
             DemuxPath::Hardware => self.bqi_demux,
         }
@@ -405,6 +412,11 @@ mod tests {
         assert_eq!(c.demux_cost(DemuxPath::Hardware, 0), c.bqi_demux);
         // An exact-match lookup beats interpreting even a one-binding scan.
         assert!(c.demux_cost(DemuxPath::FlowTable, 7) < c.demux_cost(DemuxPath::FilterScan, 7));
+        // Both keyed tiers charge the same hash-probe constant.
+        assert_eq!(
+            c.demux_cost(DemuxPath::ListenTable, 5),
+            c.demux_cost(DemuxPath::FlowTable, 7)
+        );
     }
 
     #[test]

@@ -48,12 +48,14 @@ pub use profile::{PathOutcome, PathTrace, Profile, Stage};
 pub type Nanos = u64;
 
 /// Which demultiplexing tier handled a frame, as recorded in the journal.
-/// Mirrors `unp_sim::DemuxPath` (same three arms; this crate is a
-/// dependency of `unp-sim`, so the kernel maps between them).
+/// Mirrors `unp_sim::DemuxPath` (same arms; this crate is a dependency of
+/// `unp-sim`, so the kernel maps between them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathKind {
     /// Exact-match flow-table hit.
     FlowTable,
+    /// Wildcard 3-tuple listen-table hit.
+    ListenTable,
     /// Linear scan over the compiled filters.
     FilterScan,
     /// AN1 hardware BQI classification.
@@ -64,6 +66,7 @@ impl PathKind {
     fn label(self) -> &'static str {
         match self {
             PathKind::FlowTable => "flow",
+            PathKind::ListenTable => "listen",
             PathKind::FilterScan => "scan",
             PathKind::Hardware => "hw",
         }

@@ -48,6 +48,8 @@ metric_enum! {
         ChDeliveries => "ch_deliveries",
         /// Channel deliveries decided by the exact-match flow table.
         ChFlowHits => "ch_flow_hits",
+        /// Channel deliveries decided by the wildcard 3-tuple listen table.
+        ChListenHits => "ch_listen_hits",
         /// Frames dropped because a channel ring was full or slots too small.
         ChRingDrops => "ch_ring_drops",
         /// Channel deliveries decided by the linear filter scan.
@@ -137,6 +139,10 @@ metric_enum! {
     Gauge {
         /// Established connections currently alive.
         ActiveConnections => "active_connections",
+        /// Live exact-match flow-table entries across all hosts.
+        DemuxFlowEntries => "demux_flow_entries",
+        /// Live wildcard listen-table entries across all hosts.
+        DemuxListenEntries => "demux_listen_entries",
         /// Kernel channels currently created (handshake + established).
         OpenChannels => "open_channels",
     }
@@ -335,6 +341,8 @@ pub struct ConnScope {
     pub rx_batched: u64,
     /// Software deliveries that hit the exact-match flow table.
     pub flow_hits: u64,
+    /// Software deliveries that hit the wildcard listen table.
+    pub listen_hits: u64,
     /// Software deliveries that fell back to the filter scan.
     pub scan_fallbacks: u64,
     /// Bytes delivered to the application.
@@ -366,6 +374,8 @@ pub struct ChannelScope {
     pub batched: u64,
     /// Flow-table hits.
     pub flow_hits: u64,
+    /// Listen-table hits.
+    pub listen_hits: u64,
     /// Filter-scan fallbacks.
     pub scan_fallbacks: u64,
 }
@@ -444,6 +454,14 @@ impl Metrics {
     pub fn gauge_dec(&mut self, g: Gauge) {
         let v = &mut self.gauges[g as usize];
         *v = v.saturating_sub(1);
+    }
+
+    /// Sets a gauge to an absolute level — for gauges that mirror an
+    /// externally-maintained size (table populations) rather than count
+    /// inc/dec events.
+    #[inline]
+    pub fn gauge_set(&mut self, g: Gauge, v: u64) {
+        self.gauges[g as usize] = v;
     }
 
     /// Reads a gauge.
@@ -566,13 +584,14 @@ impl Metrics {
         out.push_str("\n  },\n  \"connections\": [");
         for (i, (k, c)) in self.conns().enumerate() {
             out.push_str(&format!(
-                "{}\n    {{\"conn\": \"{k}\", \"segs_out\": {}, \"segs_in\": {}, \"bytes_to_app\": {}, \"bytes_rexmit\": {}, \"flow_hits\": {}, \"scan_fallbacks\": {}, \"srtt_ns\": {}}}",
+                "{}\n    {{\"conn\": \"{k}\", \"segs_out\": {}, \"segs_in\": {}, \"bytes_to_app\": {}, \"bytes_rexmit\": {}, \"flow_hits\": {}, \"listen_hits\": {}, \"scan_fallbacks\": {}, \"srtt_ns\": {}}}",
                 if i > 0 { "," } else { "" },
                 c.segs_out,
                 c.segs_in,
                 c.bytes_to_app,
                 c.bytes_rexmit,
                 c.flow_hits,
+                c.listen_hits,
                 c.scan_fallbacks,
                 c.srtt.map_or("null".into(), |v| v.to_string()),
             ));
@@ -580,11 +599,12 @@ impl Metrics {
         out.push_str("\n  ],\n  \"channels\": [");
         for (i, ((host, id), ch)) in self.channels().enumerate() {
             out.push_str(&format!(
-                "{}\n    {{\"host\": {host}, \"channel\": {id}, \"delivered\": {}, \"batched\": {}, \"flow_hits\": {}, \"scan_fallbacks\": {}}}",
+                "{}\n    {{\"host\": {host}, \"channel\": {id}, \"delivered\": {}, \"batched\": {}, \"flow_hits\": {}, \"listen_hits\": {}, \"scan_fallbacks\": {}}}",
                 if i > 0 { "," } else { "" },
                 ch.delivered,
                 ch.batched,
                 ch.flow_hits,
+                ch.listen_hits,
                 ch.scan_fallbacks,
             ));
         }
@@ -739,12 +759,44 @@ impl Window {
         (sent > 0).then(|| self.delta(Ctr::TcpRexmitSegs) as f64 / sent as f64)
     }
 
+    /// Software deliveries classified this window, across all tiers.
+    fn demux_decisions(&self) -> u64 {
+        self.delta(Ctr::ChFlowHits)
+            + self.delta(Ctr::ChListenHits)
+            + self.delta(Ctr::ChScanFallbacks)
+    }
+
     /// Share of channel deliveries the flow table decided this window, or
     /// `None` if no software delivery was classified.
     pub fn flow_hit_rate(&self) -> Option<f64> {
-        let flow = self.delta(Ctr::ChFlowHits);
-        let scan = self.delta(Ctr::ChScanFallbacks);
-        (flow + scan > 0).then(|| flow as f64 / (flow + scan) as f64)
+        let all = self.demux_decisions();
+        (all > 0).then(|| self.delta(Ctr::ChFlowHits) as f64 / all as f64)
+    }
+
+    /// Share of channel deliveries the wildcard listen table decided this
+    /// window, or `None` if no software delivery was classified.
+    pub fn listen_hit_rate(&self) -> Option<f64> {
+        let all = self.demux_decisions();
+        (all > 0).then(|| self.delta(Ctr::ChListenHits) as f64 / all as f64)
+    }
+
+    /// Share of channel deliveries decided by either keyed table this
+    /// window — the frames that skipped filter interpretation — or `None`
+    /// if no software delivery was classified.
+    pub fn keyed_hit_rate(&self) -> Option<f64> {
+        let all = self.demux_decisions();
+        let keyed = self.delta(Ctr::ChFlowHits) + self.delta(Ctr::ChListenHits);
+        (all > 0).then(|| keyed as f64 / all as f64)
+    }
+
+    /// Live keyed-table populations (flow entries, listen entries) at the
+    /// window's end, summed across hosts — the dashboard's table-size
+    /// columns.
+    pub fn demux_table_sizes(&self) -> (u64, u64) {
+        (
+            self.gauge(Gauge::DemuxFlowEntries),
+            self.gauge(Gauge::DemuxListenEntries),
+        )
     }
 
     /// Mean ring occupancy observed at enqueue during the window, or

@@ -32,7 +32,49 @@ pub struct FlowKey {
     pub remote_port: u16,
 }
 
+/// The wildcard-match identity of a first-fragment IPv4 TCP/UDP frame: the
+/// local half of a [`FlowKey`] (protocol, IP destination, transport
+/// destination port). Listening and unconnected-UDP bindings — specs that
+/// wildcard *both* remote fields — are keyed by this 3-tuple.
+///
+/// A fully-wildcard spec's filter accepts a frame **iff** the frame's
+/// extracted [`FlowKey`] projects ([`FlowKey::local`]) onto the spec's
+/// distilled 3-tuple: the wildcard filter checks exactly the conditions
+/// `FlowKey::extract` checks minus the two remote-field compares, and a
+/// frame from which the local fields are readable always has readable
+/// remote fields (they sit at lower offsets). So the 3-tuple table inherits
+/// the 5-tuple table's iff guarantee by projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ListenKey {
+    /// IP protocol number (6 TCP, 17 UDP — any value is legal).
+    pub protocol: u8,
+    /// IP destination address.
+    pub local_ip: Ipv4Addr,
+    /// Transport destination port.
+    pub local_port: u16,
+}
+
+impl ListenKey {
+    /// Extracts the listen key from a raw frame, or `None` exactly when
+    /// [`FlowKey::extract`] would return `None` — the two extractors fail
+    /// on the same frames, which is what keeps tier lookups equivalent to
+    /// the scan.
+    pub fn extract(frame: &[u8], link_header_len: usize) -> Option<ListenKey> {
+        FlowKey::extract(frame, link_header_len).map(|k| k.local())
+    }
+}
+
 impl FlowKey {
+    /// Projects the key onto its local half — the [`ListenKey`] a
+    /// wildcard-binding lookup uses.
+    pub fn local(&self) -> ListenKey {
+        ListenKey {
+            protocol: self.protocol,
+            local_ip: self.local_ip,
+            local_port: self.local_port,
+        }
+    }
+
     /// Extracts the flow key from a raw frame whose IP header starts at
     /// `link_header_len`, or `None` when the frame carries no exact-match
     /// identity: non-IPv4 EtherType, bad version or IHL, a non-first
@@ -149,6 +191,35 @@ mod tests {
         let frame = tcp_frame(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 1, 2);
         for len in 0..frame.len().min(14 + 24) {
             assert_eq!(FlowKey::extract(&frame[..len], 14), None, "len {len}");
+        }
+    }
+
+    #[test]
+    fn listen_key_is_the_local_projection() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let frame = tcp_frame(src, dst, 5000, 80);
+        let key = FlowKey::extract(&frame, 14).unwrap();
+        assert_eq!(
+            key.local(),
+            ListenKey {
+                protocol: IpProtocol::Tcp.to_u8(),
+                local_ip: dst,
+                local_port: 80,
+            }
+        );
+        assert_eq!(ListenKey::extract(&frame, 14), Some(key.local()));
+    }
+
+    #[test]
+    fn listen_extract_fails_exactly_when_flow_extract_fails() {
+        let frame = tcp_frame(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 1, 2);
+        for len in 0..frame.len() {
+            assert_eq!(
+                ListenKey::extract(&frame[..len], 14).is_some(),
+                FlowKey::extract(&frame[..len], 14).is_some(),
+                "len {len}"
+            );
         }
     }
 

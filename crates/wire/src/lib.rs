@@ -29,7 +29,7 @@ pub use ether::{
     EtherType, EthernetFrame, EthernetRepr, ETHERNET_HEADER_LEN, ETHERNET_MAX_PAYLOAD,
     ETHERNET_MIN_FRAME,
 };
-pub use flow::FlowKey;
+pub use flow::{FlowKey, ListenKey};
 pub use icmp::{IcmpPacket, IcmpRepr, IcmpType};
 pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr, IPV4_HEADER_LEN};
 pub use seq::SeqNum;

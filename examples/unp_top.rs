@@ -70,13 +70,15 @@ fn main() {
     install_faults(&mut world, &mut engine, FaultPlan::lossy(7, 0.01));
 
     let header = format!(
-        "{:<9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>9} {:>5}",
+        "{:<9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
         "sim time",
         "rx pps",
         "tx pps",
         "rexmit/s",
         "rex %",
         "flow %",
+        "keyed %",
+        "tbl f/l",
         "ring avg",
         "batch avg",
         "conns"
@@ -93,8 +95,9 @@ fn main() {
         engine.run_until(&mut world, deadline);
         let snap = world.metrics.snapshot(engine.now());
         let w = snap.window_since(&prev);
+        let (flow_tbl, listen_tbl) = w.demux_table_sizes();
         let row = format!(
-            "{:<9} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>8} {:>9} {:>5}",
+            "{:<9} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
             fmt_nanos(snap.time),
             w.rx_pps(),
             w.tx_pps(),
@@ -103,6 +106,9 @@ fn main() {
                 .map_or("-".into(), |r| format!("{:.1}", r * 100.0)),
             w.flow_hit_rate()
                 .map_or("-".into(), |r| format!("{:.1}", r * 100.0)),
+            w.keyed_hit_rate()
+                .map_or("-".into(), |r| format!("{:.1}", r * 100.0)),
+            format!("{flow_tbl}/{listen_tbl}"),
             w.mean_ring_depth()
                 .map_or("-".into(), |d| format!("{d:.2}")),
             w.hist_mean(Hist::WakeupBatchFrames)

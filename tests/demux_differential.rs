@@ -1,20 +1,25 @@
 //! Differential verification of the software-demux fast path.
 //!
-//! The kernel's two-tier demultiplexer (exact-match flow table + wildcard
-//! filter scan, `NetIoModule::classify`) must agree with a pure linear
-//! filter scan (`classify_scan_reference`) on **both** the target channel
-//! and the modeled filter-instruction count, for arbitrary channel sets —
-//! connected and wildcard bindings, duplicate 5-tuples, mismatched link
-//! framing, activation subsets, teardown churn — and arbitrary frames —
-//! hits, misses, fragments, truncations, non-IP. This is the invariant
-//! that lets the fast path exist at all: the reproduced tables charge the
-//! 1993 scan's costs, so the mechanism underneath must be unobservable.
+//! The kernel's three-tier demultiplexer (exact-match 5-tuple flow table,
+//! 3-tuple listen table, residual filter scan — `NetIoModule::classify`)
+//! must agree with a pure linear filter scan
+//! (`classify_scan_reference`) on **both** the target channel and the
+//! modeled filter-instruction count, for arbitrary channel sets —
+//! connected, fully-wildcard (listening), and half-wildcard bindings,
+//! duplicate 5-tuples, mismatched link framing, activation subsets,
+//! teardown churn — and arbitrary frames — hits, misses, fragments,
+//! truncations, non-IP. On top of agreement, every hit's reported
+//! [`DemuxPath`] must match the tier the winning binding distilled into
+//! at creation (including the module's link-framing pin). This is the
+//! invariant that lets the fast path exist at all: the reproduced tables
+//! charge the 1993 scan's costs, so the mechanism underneath must be
+//! unobservable except in speed.
 
 use proptest::prelude::*;
 
 use unp::buffers::OwnerTag;
 use unp::filter::programs::DemuxSpec;
-use unp::kernel::{ChannelId, HeaderTemplate, NetIoModule};
+use unp::kernel::{ChannelId, DemuxPath, HeaderTemplate, NetIoModule};
 use unp::wire::{
     EtherType, EthernetRepr, IpProtocol, Ipv4Addr, Ipv4Repr, MacAddr, SeqNum, TcpFlags, TcpRepr,
     UdpRepr,
@@ -31,13 +36,18 @@ const IPS: [Ipv4Addr; 3] = [
 const PORTS: [u16; 4] = [80, 7, 5000, 5001];
 
 /// One generated binding: protocol choice, local/remote endpoints drawn
-/// from the pools (`remote = None` wildcards, i.e. a listening socket),
-/// link framing, and lifecycle (activated? torn down again?).
+/// from the pools, remote-wildcard shape, link framing, and lifecycle
+/// (activated? torn down again?).
 #[derive(Debug, Clone, Copy)]
 struct ChanGen {
     tcp: bool,
     local: (usize, usize),
-    remote: Option<(usize, usize)>,
+    remote: (usize, usize),
+    /// How much of the remote endpoint the binding specifies: 0 = both
+    /// (exact-match, flow-table tier), 1 = neither (listening socket,
+    /// listen-table tier), 2 = ip only and 3 = port only (half-wildcard,
+    /// residual scan tier).
+    remote_kind: u8,
     /// Ethernet (14) for most; occasionally AN1 framing (16) to exercise
     /// the mismatched-link-header scan-tier fallback.
     link_header_len: usize,
@@ -60,19 +70,22 @@ fn arb_chan() -> impl Strategy<Value = ChanGen> {
     (
         any::<bool>(),
         (0usize..IPS.len(), 0usize..PORTS.len()),
-        proptest::option::of((0usize..IPS.len(), 0usize..PORTS.len())),
+        ((0usize..IPS.len(), 0usize..PORTS.len()), 0u8..4),
         prop_oneof![Just(14usize), Just(14usize), Just(14usize), Just(16usize)],
         any::<bool>(),
         0u8..8,
     )
-        .prop_map(|(tcp, local, remote, link_header_len, active, d)| ChanGen {
-            tcp,
-            local,
-            remote,
-            link_header_len,
-            active,
-            destroy: d == 0, // ~1 in 8 channels is torn down again
-        })
+        .prop_map(
+            |(tcp, local, (remote, remote_kind), link_header_len, active, d)| ChanGen {
+                tcp,
+                local,
+                remote,
+                remote_kind,
+                link_header_len,
+                active,
+                destroy: d == 0, // ~1 in 8 channels is torn down again
+            },
+        )
 }
 
 fn arb_frame() -> impl Strategy<Value = FrameGen> {
@@ -91,6 +104,7 @@ fn arb_frame() -> impl Strategy<Value = FrameGen> {
 }
 
 fn spec_of(c: &ChanGen) -> DemuxSpec {
+    let (ri, rp) = c.remote;
     DemuxSpec {
         link_header_len: c.link_header_len,
         protocol: if c.tcp {
@@ -100,9 +114,37 @@ fn spec_of(c: &ChanGen) -> DemuxSpec {
         },
         local_ip: IPS[c.local.0],
         local_port: PORTS[c.local.1],
-        remote_ip: c.remote.map(|(i, _)| IPS[i]),
-        remote_port: c.remote.map(|(_, p)| PORTS[p]),
+        remote_ip: (c.remote_kind == 0 || c.remote_kind == 2).then(|| IPS[ri]),
+        remote_port: (c.remote_kind == 0 || c.remote_kind == 3).then(|| PORTS[rp]),
     }
+}
+
+/// The tier each binding distilled into at creation, replayed from the
+/// same rules the module applies: exact 5-tuple → flow table, fully
+/// wildcard remote → listen table, anything else → residual scan; and
+/// the first *distillable* spec pins the module's key-extraction framing,
+/// demoting later distillable specs with different framing to the scan
+/// tier. A hit's reported [`DemuxPath`] must equal the winner's tier.
+fn expected_tiers(chans: &[ChanGen]) -> Vec<DemuxPath> {
+    let mut pinned: Option<usize> = None;
+    chans
+        .iter()
+        .map(|c| {
+            let spec = spec_of(c);
+            let keyed = if spec.distill().is_some() {
+                DemuxPath::FlowTable
+            } else if spec.distill_listen().is_some() {
+                DemuxPath::ListenTable
+            } else {
+                return DemuxPath::FilterScan;
+            };
+            if *pinned.get_or_insert(spec.link_header_len) == spec.link_header_len {
+                keyed
+            } else {
+                DemuxPath::FilterScan
+            }
+        })
+        .collect()
 }
 
 /// Delivery tests never transmit, so the template content is irrelevant;
@@ -187,6 +229,7 @@ proptest! {
         frames in proptest::collection::vec(arb_frame(), 1..24),
     ) {
         let mut m = NetIoModule::new();
+        let tiers = expected_tiers(&chans);
         let mut ids: Vec<(ChannelId, ChanGen)> = Vec::new();
         for c in &chans {
             let spec = spec_of(c);
@@ -207,7 +250,7 @@ proptest! {
         }
         for f in &frames {
             let bytes = build_frame(f);
-            let (fast_target, fast_instrs, _path) = m.classify(&bytes);
+            let (fast_target, fast_instrs, path) = m.classify(&bytes);
             let (scan_target, scan_instrs) = m.classify_scan_reference(&bytes);
             prop_assert_eq!(
                 fast_target, scan_target,
@@ -217,6 +260,18 @@ proptest! {
                 fast_instrs, scan_instrs,
                 "modeled cost diverged for {:?} over {:?}", f, chans
             );
+            // Tier attribution: a hit reports the tier the winner
+            // distilled into at creation; a miss is charged to the scan.
+            match fast_target {
+                Some(id) => prop_assert_eq!(
+                    path, tiers[id.0 as usize],
+                    "tier diverged for {:?} over {:?}", f, chans
+                ),
+                None => prop_assert_eq!(
+                    path, DemuxPath::FilterScan,
+                    "a miss must report the scan tier for {:?}", f
+                ),
+            }
         }
     }
 
@@ -230,10 +285,21 @@ proptest! {
     ) {
         let mut m = NetIoModule::new();
         let bytes = build_frame(&frame);
+        // Valid at every prefix of the churn: a channel's tier is fixed at
+        // its own creation by the already-created channels (the framing
+        // pin), never by later ones, and teardown does not unpin.
+        let tiers = expected_tiers(&chans);
         let check = |m: &NetIoModule| -> Result<(), TestCaseError> {
-            let (ft, fi, _) = m.classify(&bytes);
+            let (ft, fi, path) = m.classify(&bytes);
             let (st, si) = m.classify_scan_reference(&bytes);
             prop_assert_eq!((ft, fi), (st, si), "diverged over {:?}", chans);
+            match ft {
+                Some(id) => prop_assert_eq!(
+                    path, tiers[id.0 as usize],
+                    "tier diverged over {:?}", chans
+                ),
+                None => prop_assert_eq!(path, DemuxPath::FilterScan, "miss must report scan"),
+            }
             Ok(())
         };
         let mut ids = Vec::new();
@@ -253,5 +319,154 @@ proptest! {
                 check(&m)?;
             }
         }
+    }
+}
+
+/// A deterministic unique spec for the large-population oracle: every
+/// 64th pair of slots is a listening binding and a half-wildcard
+/// (residual) binding, the rest exact connections — each category in a
+/// disjoint local-address space so the intended winner is unambiguous.
+fn scale_spec(i: usize) -> DemuxSpec {
+    let k = i / 64;
+    let (a, b) = ((k / 250) as u8, (k % 250) as u8);
+    let (local_ip, local_port, remote_ip, remote_port) = match i % 64 {
+        2 => (Ipv4Addr::new(10, 2, a, b), 81, None, None),
+        3 => (
+            Ipv4Addr::new(10, 3, a, b),
+            82,
+            Some(Ipv4Addr::new(10, 9, 0, 1)),
+            None,
+        ),
+        _ => {
+            let (hi, lo) = (i / 60_000, i % 60_000);
+            (
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+                Some(Ipv4Addr::new(
+                    10,
+                    1 + hi as u8,
+                    (lo / 250) as u8,
+                    (lo % 250) as u8,
+                )),
+                Some(1024 + lo as u16),
+            )
+        }
+    };
+    DemuxSpec {
+        link_header_len: 14,
+        protocol: IpProtocol::Tcp,
+        local_ip,
+        local_port,
+        remote_ip,
+        remote_port,
+    }
+}
+
+/// A TCP frame from `remote` to `local` for the oracle probes.
+fn probe_frame(local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16)) -> Vec<u8> {
+    let seg = TcpRepr {
+        src_port: remote.1,
+        dst_port: local.1,
+        seq: SeqNum(1),
+        ack_num: SeqNum(0),
+        flags: TcpFlags::ack(),
+        window: 1000,
+        mss: None,
+    }
+    .build_segment(remote.0, local.0, b"x");
+    let ip = Ipv4Repr::simple(remote.0, local.0, IpProtocol::Tcp, seg.len());
+    EthernetRepr {
+        dst: MacAddr::from_host_index(2),
+        src: MacAddr::from_host_index(1),
+        ethertype: EtherType::Ipv4,
+    }
+    .build_frame(&ip.build_packet(&seg))
+}
+
+/// The differential oracle at the ISSUE's 10^5-channel scale: build a
+/// mixed population incrementally, churn a slice of it back out, and
+/// verify (a) the incremental caches equal a from-scratch rebuild and
+/// (b) `classify` agrees with the linear scan — with correct tier
+/// attribution — for a probe on each tier plus a miss. Release-only: the
+/// debug build's per-event cache validation plus the O(n) scan oracle
+/// make this minutes-slow under `cargo test` without optimization.
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn oracle_holds_at_one_hundred_thousand_channels() {
+    const N: usize = 100_000;
+    let mut m = NetIoModule::new();
+    let mut ids = Vec::with_capacity(N);
+    for i in 0..N {
+        let spec = scale_spec(i);
+        let (id, ..) = m.create_channel(OwnerTag(1), &spec, template_of(&spec), 1, 2048);
+        // Most channels active; every 13th left installed-but-inactive so
+        // the active subset differs from the installed set.
+        if i % 13 != 5 {
+            m.activate(id);
+        }
+        ids.push(id);
+    }
+    // Teardown churn across all three tiers (every 17th channel), then
+    // the incremental caches must still equal a from-scratch rebuild.
+    for (i, &id) in ids.iter().enumerate() {
+        if i % 17 == 9 {
+            assert!(m.destroy_channel(id, OwnerTag(1)));
+        }
+    }
+    assert!(
+        m.caches_match_rebuild(),
+        "incremental caches diverged from the rebuild oracle after churn"
+    );
+
+    // One probe per tier plus a guaranteed miss. Winners chosen away from
+    // the churned (i % 17 == 9) and inactive (i % 13 == 5) slices.
+    let exact = scale_spec(0);
+    let listen = scale_spec(2);
+    // The highest-id residual binding still installed and active.
+    let mut ri = N - 1;
+    while ri % 64 != 3 || ri % 17 == 9 || ri % 13 == 5 {
+        ri -= 1;
+    }
+    let residual = scale_spec(ri);
+    let probes = [
+        (
+            probe_frame(
+                (exact.local_ip, exact.local_port),
+                (exact.remote_ip.unwrap(), exact.remote_port.unwrap()),
+            ),
+            DemuxPath::FlowTable,
+        ),
+        (
+            probe_frame(
+                (listen.local_ip, listen.local_port),
+                (Ipv4Addr::new(10, 8, 0, 1), 9999),
+            ),
+            DemuxPath::ListenTable,
+        ),
+        (
+            probe_frame(
+                (residual.local_ip, residual.local_port),
+                (residual.remote_ip.unwrap(), 9999),
+            ),
+            DemuxPath::FilterScan,
+        ),
+        (
+            probe_frame(
+                (Ipv4Addr::new(10, 250, 0, 1), 4444),
+                (Ipv4Addr::new(10, 250, 0, 2), 5555),
+            ),
+            DemuxPath::FilterScan,
+        ),
+    ];
+    for (i, (frame, want_path)) in probes.iter().enumerate() {
+        let (target, instrs, path) = m.classify(frame);
+        assert_eq!(
+            (target, instrs),
+            m.classify_scan_reference(frame),
+            "probe {i} diverged from the linear-scan oracle"
+        );
+        assert_eq!(path, *want_path, "probe {i} resolved on the wrong tier");
+        // The last probe is the miss; everything else must land.
+        assert_eq!(target.is_some(), i < 3, "probe {i} hit/miss shape");
     }
 }
