@@ -68,6 +68,17 @@ echo "== profile perf gate vs. BENCH_profile_baseline.json =="
 cargo run -q -p unp-bench --release --offline --bin repro-tables -- \
   --profile-gate BENCH_profile_baseline.json
 
+# Causal-attribution gate: the seeded faulty Table-2 workload joins
+# into the cross-host causal graph; the injected fault schedule is the
+# oracle, so every retransmit must be attributed (coverage exactly 1.0)
+# and every lost data frame claimed exactly once or superseded, and the
+# Chrome trace export must match the pinned golden byte-for-byte
+# (refresh with --explain-baseline after a reviewed change).
+echo "== causal attribution gate (fault-plan oracle + golden chrome trace) =="
+cargo run -q -p unp-bench --release --offline --bin repro-tables -- --explain-gate
+grep -q '"attribution_coverage": 1.0000' BENCH_causal.json \
+  || { echo "BENCH_causal.json does not report full attribution coverage"; exit 1; }
+
 # Churn-scaling gate: channel activate/teardown is maintained
 # incrementally (O(log N) per event), so a create→activate→destroy cycle
 # at 4096 channels must stay within a constant factor of the same cycle

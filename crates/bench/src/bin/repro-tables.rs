@@ -31,9 +31,23 @@
 //! #   re-run the quick workload and compare stage means against the
 //! #   committed baseline: exit 1 on regression past the tolerance band,
 //! #   warn on improvement; skips the tables
+//! cargo run -p unp-bench --release --bin repro-tables -- --explain [f<id> | <port>]
+//! #   run the seeded faulty Table-2 workload, join the journal into the
+//! #   cross-host causal graph, and print the postmortem for one frame
+//! #   (f<id>), one connection (<port>), or the whole run; skips the tables
+//! cargo run -p unp-bench --release --bin repro-tables -- --explain-gate
+//! #   CI gate: same workload, assert the fault-plan oracle (attribution
+//! #   coverage 1.0, every lost data frame claimed exactly once or
+//! #   superseded), write BENCH_causal.json, and diff the Chrome trace
+//! #   export against tests/golden/causal_trace.json; skips the tables
+//! cargo run -p unp-bench --release --bin repro-tables -- --explain-baseline
+//! #   (re)generate the golden Chrome trace + BENCH_causal.json
+//! cargo run -p unp-bench --release --bin repro-tables -- --summary
+//! #   fold the headline scalar of every committed BENCH_*.json into
+//! #   BENCH_summary.json (also written by the artifact modes above)
 //! ```
 
-use unp_bench::{demux, profile, scale, tables, timings, trace};
+use unp_bench::{causal, demux, profile, scale, summary, tables, timings, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,8 +61,43 @@ fn main() {
         .iter()
         .position(|a| a == "--profile-gate")
         .map(|i| args.get(i + 1).expect("--profile-gate <baseline>").clone());
+    let explain_pos = args.iter().position(|a| a == "--explain");
+    let want_explain_gate = args.iter().any(|a| a == "--explain-gate");
+    let want_explain_baseline = args.iter().any(|a| a == "--explain-baseline");
+    let want_summary = args.iter().any(|a| a == "--summary");
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     let rounds = if quick { 10 } else { 30 };
+
+    if want_explain_gate || want_explain_baseline {
+        let result = if want_explain_gate {
+            causal::gate()
+        } else {
+            causal::baseline()
+        };
+        match result {
+            Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Err(msg) => {
+                eprintln!("causal gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some(i) = explain_pos {
+        let graph = causal::causal_section();
+        causal::print_explain(&graph, args.get(i + 1).map(String::as_str));
+        return;
+    }
+
+    if want_summary {
+        summary::write();
+        return;
+    }
 
     if want_churn_gate {
         let (at_64, at_4096) = scale::churn_gate_measure();
@@ -178,5 +227,11 @@ fn main() {
         let path = "BENCH_demux_scale.json";
         std::fs::write(path, &json).expect("write benchmark json");
         println!("wrote {path}");
+    }
+
+    // Every artifact-writing mode refreshes the consolidated summary so
+    // it never trails the per-mode files it folds.
+    if want_timings || want_trace || want_profile {
+        summary::write();
     }
 }

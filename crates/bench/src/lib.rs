@@ -7,9 +7,11 @@
 //!   the real hot-path code (checksum, filter VMs, timing wheel, TCP
 //!   segment processing) on the host machine.
 
+pub mod causal;
 pub mod demux;
 pub mod profile;
 pub mod scale;
+pub mod summary;
 pub mod tables;
 pub mod timings;
 pub mod trace;

@@ -1,0 +1,177 @@
+//! `BENCH_summary.json`: one consolidated artifact folding the headline
+//! scalar out of every committed `BENCH_*.json`.
+//!
+//! Each artifact-writing mode leaves a detailed per-mode file; this
+//! module re-reads them with [`unp_trace::json`] (the same reader the
+//! export tests round-trip through) and pulls a handful of named
+//! scalars into one object, so a dashboard — or a reviewer — gets the
+//! repo's whole performance story from one file. Sources that have not
+//! been generated yet are listed under `"missing"` rather than failing:
+//! the summary describes what exists.
+
+use unp_trace::json::{parse, Value};
+
+/// The headline extractions: `(file, [(summary key, path)])` where the
+/// path is dot-separated with `[i]`/`[-1]` array indexing.
+const SOURCES: &[(&str, &[(&str, &str)])] = &[
+    (
+        "BENCH_zero_copy.json",
+        &[
+            (
+                "pooled_allocs_per_frame",
+                "pool_comparison.pooled_allocs_per_frame",
+            ),
+            (
+                "alloc_reduction_factor",
+                "pool_comparison.alloc_reduction_factor",
+            ),
+        ],
+    ),
+    (
+        "BENCH_demux.json",
+        &[
+            ("flow_hit_rate", "workload.flow_hit_rate"),
+            ("fast_path_flatness_8_to_512", "fast_path_flatness_8_to_512"),
+        ],
+    ),
+    (
+        "BENCH_trace.json",
+        &[
+            ("wakeup_mean_ns", "rows[0].wakeup.mean_ns"),
+            ("proc_mean_ns", "rows[0].proc.mean_ns"),
+        ],
+    ),
+    (
+        "BENCH_profile.json",
+        &[
+            ("end_to_end_mean_ns", "gate.stage_mean_ns.end_to_end"),
+            (
+                "demux_classify_mean_ns",
+                "gate.stage_mean_ns.demux_classify",
+            ),
+        ],
+    ),
+    (
+        "BENCH_demux_scale.json",
+        &[
+            ("churn_cycle_ns_at_max_scale", "points[-1].churn_cycle_ns"),
+            (
+                "flow_classify_ns_at_max_scale",
+                "points[-1].flow_classify_ns",
+            ),
+        ],
+    ),
+    (
+        "BENCH_causal.json",
+        &[
+            ("attribution_coverage", "attribution_coverage"),
+            ("rexmits_attributed", "rexmits"),
+        ],
+    ),
+];
+
+/// Walks `path` (`a.b[0].c`, `[-1]` for the last element) through a
+/// parsed document.
+fn lookup<'a>(v: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        let (key, idx) = match seg.find('[') {
+            Some(i) => (&seg[..i], Some(&seg[i + 1..seg.len() - 1])),
+            None => (seg, None),
+        };
+        if !key.is_empty() {
+            cur = cur.get(key)?;
+        }
+        if let Some(ix) = idx {
+            let items = cur.items()?;
+            cur = match ix {
+                "-1" => items.last()?,
+                _ => items.get(ix.parse::<usize>().ok()?)?,
+            };
+        }
+    }
+    Some(cur)
+}
+
+/// Renders an extracted scalar back out (integers stay integers).
+fn scalar(v: &Value) -> Option<String> {
+    let n = v.as_f64()?;
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        Some(format!("{}", n as i64))
+    } else {
+        Some(format!("{n}"))
+    }
+}
+
+/// Builds the consolidated summary from the `BENCH_*.json` files in the
+/// current directory (the repo root, where the artifacts live).
+pub fn collect() -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"summary\",\n  \"sources\": {");
+    let mut missing: Vec<&str> = Vec::new();
+    let mut first_src = true;
+    for &(file, keys) in SOURCES {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            missing.push(file);
+            continue;
+        };
+        let Ok(doc) = parse(&text) else {
+            missing.push(file);
+            continue;
+        };
+        if !first_src {
+            out.push(',');
+        }
+        first_src = false;
+        out.push_str(&format!("\n    \"{file}\": {{"));
+        let mut first_key = true;
+        for &(name, path) in keys {
+            let Some(val) = lookup(&doc, path).and_then(scalar) else {
+                continue;
+            };
+            if !first_key {
+                out.push_str(", ");
+            }
+            first_key = false;
+            out.push_str(&format!("\"{name}\": {val}"));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  },\n  \"missing\": [");
+    for (i, file) in missing.iter().enumerate() {
+        out.push_str(&format!("{}\"{file}\"", if i > 0 { ", " } else { "" }));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Writes `BENCH_summary.json` and announces it.
+pub fn write() {
+    let path = "BENCH_summary.json";
+    std::fs::write(path, collect()).expect("write summary json");
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_walks_nested_paths() {
+        let doc = parse(r#"{"a": {"b": [{"c": 7}, {"c": 9}]}, "n": 1.5}"#).unwrap();
+        assert_eq!(lookup(&doc, "a.b[0].c").and_then(Value::as_u64), Some(7));
+        assert_eq!(lookup(&doc, "a.b[-1].c").and_then(Value::as_u64), Some(9));
+        assert_eq!(lookup(&doc, "n").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(lookup(&doc, "a.missing"), None);
+        assert_eq!(lookup(&doc, "n[0]"), None, "scalar is not indexable");
+    }
+
+    #[test]
+    fn summary_parses_even_with_everything_missing() {
+        // `collect` reads the cwd; under `cargo test` that holds no
+        // artifacts, so every source lands in `missing` — and the output
+        // must still be valid JSON.
+        let v = parse(&collect()).expect("summary JSON parses");
+        assert!(v.get("sources").is_some());
+        assert!(v.get("missing").is_some());
+    }
+}

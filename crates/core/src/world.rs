@@ -803,11 +803,19 @@ fn build_arp_frame(w: &World, h: usize, arp: &ArpRepr) -> Frame {
 /// no per-recipient copy.
 fn transmit_frame(w: &mut World, eng: &mut Eng, h: usize, frame: Frame) {
     let now = eng.now();
-    let (_start, arrival) = w.link.reserve(StationId(h), now, frame.len());
+    let (start, arrival) = w.link.reserve(StationId(h), now, frame.len());
     let dst = MacAddr([frame[0], frame[1], frame[2], frame[3], frame[4], frame[5]]);
     w.metrics.bump(Ctr::FramesSent);
     unp_trace::emit_at(h as u16, Some(frame.id()), || unp_trace::Event::NicTx {
         len: frame.len() as u32,
+    });
+    // The wire-hop span for the causal tracer: time waiting for link
+    // access vs serialization + propagation. The split telescopes with
+    // the receiver's `nic_rx` timestamp (any residue is injected reorder
+    // delay), so journey latency decomposes exactly.
+    unp_trace::emit_at(h as u16, Some(frame.id()), || unp_trace::Event::LinkTx {
+        queue: start - now,
+        wire: arrival - start,
     });
     w.run_taps(now, &frame);
     if !w.faults.enabled {
@@ -2065,7 +2073,7 @@ fn emit_tcp_segment(
         });
         // UserLibrary: the template check really runs.
         if let Some(cap) = send_cap {
-            if w.hosts[h].netio.transmit(cap, &frame).is_err() {
+            if w.hosts[h].netio.transmit_frame(cap, &frame).is_err() {
                 w.metrics.bump(Ctr::TxTemplateRejections);
                 continue;
             }

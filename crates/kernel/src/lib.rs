@@ -629,6 +629,22 @@ impl NetIoModule {
     /// Validates an outgoing frame against the template bound to `cap`.
     /// On success the caller hands the frame to the device.
     pub fn transmit(&mut self, cap: Capability, frame: &[u8]) -> Result<ChannelId, TxError> {
+        self.transmit_tagged(cap, frame, None)
+    }
+
+    /// [`transmit`](Self::transmit) for a pooled [`Frame`]: identical
+    /// checks, but the journaled template-check verdict carries the frame
+    /// id so the causal tracer can join it into the frame's journey.
+    pub fn transmit_frame(&mut self, cap: Capability, frame: &Frame) -> Result<ChannelId, TxError> {
+        self.transmit_tagged(cap, frame, Some(frame.id()))
+    }
+
+    fn transmit_tagged(
+        &mut self,
+        cap: Capability,
+        frame: &[u8],
+        frame_id: Option<u64>,
+    ) -> Result<ChannelId, TxError> {
         let entry = self.caps.get(&cap.0).ok_or(TxError::BadCapability)?;
         if entry.right != Right::Send {
             return Err(TxError::NoSendRight);
@@ -640,7 +656,7 @@ impl NetIoModule {
         let channel = entry.channel;
         match ch.template.check(frame) {
             Ok(()) => {
-                unp_trace::emit(None, || unp_trace::Event::TxTemplateCheck {
+                unp_trace::emit(frame_id, || unp_trace::Event::TxTemplateCheck {
                     channel: channel.0,
                     ok: true,
                 });
@@ -648,7 +664,7 @@ impl NetIoModule {
             }
             Err(v) => {
                 self.tx_rejections += 1;
-                unp_trace::emit(None, || unp_trace::Event::TxTemplateCheck {
+                unp_trace::emit(frame_id, || unp_trace::Event::TxTemplateCheck {
                     channel: channel.0,
                     ok: false,
                 });
@@ -791,8 +807,12 @@ impl NetIoModule {
         // doesn't fit a slot, a full ring means the region is exhausted.
         let capacity = pressure.map_or(ch.capacity, |c| ch.capacity.min(c));
         if frame.len() > ch.slot_size || ch.rx_ring.len() >= capacity {
+            // A pressure-induced drop is one the uncapped ring would have
+            // absorbed: the injected clamp, not load, is the cause.
+            let shed = frame.len() <= ch.slot_size && ch.rx_ring.len() < ch.capacity;
             unp_trace::emit(Some(frame.id()), || unp_trace::Event::RingDrop {
                 channel: id.0,
+                pressure: shed,
             });
             return Delivery::Dropped;
         }

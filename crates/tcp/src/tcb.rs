@@ -704,9 +704,15 @@ impl Tcb {
         }
     }
 
-    /// Rebuilds and resends the segment at `snd_una` (RTO or fast
-    /// retransmit path).
-    fn retransmit_head(&mut self, now: Nanos, out: &mut Vec<TcpAction>) {
+    /// Rebuilds and resends the segment at `snd_una`. `reason` names the
+    /// loss-detection mechanism that fired (RTO expiry or third dup-ACK)
+    /// and rides into the journal for root-cause attribution.
+    fn retransmit_head(
+        &mut self,
+        now: Nanos,
+        out: &mut Vec<TcpAction>,
+        reason: unp_trace::RexmitReason,
+    ) {
         match self.state {
             State::SynSent => {
                 let mss = Some(self.cfg.mss_local as u16);
@@ -732,7 +738,9 @@ impl Tcb {
             unp_trace::emit(None, || unp_trace::Event::TcpRexmit {
                 local_port: self.local.1,
                 remote_port: self.remote.1,
+                seq: self.snd_una.0,
                 bytes: len as u32,
+                reason,
             });
             let seq = self.snd_una;
             // The buffer may hold not-yet-sent bytes (e.g. a window- or
@@ -832,7 +840,7 @@ impl Tcb {
                     self.cwnd = self.snd_mss;
                 }
                 self.dup_acks = 0;
-                self.retransmit_head(now, &mut out);
+                self.retransmit_head(now, &mut out, unp_trace::RexmitReason::Rto);
                 let rto = self.rtt.rto();
                 self.arm_timer(TcpTimer::Retransmit, now + rto, &mut out);
             }
@@ -1044,6 +1052,7 @@ impl Tcb {
             self.emit_ack(out);
             return;
         }
+        let prev_wnd = self.snd_wnd;
         let window_opened = self.update_send_window(repr);
         if ack.gt(self.snd_una) {
             self.process_new_ack(ack, now, out);
@@ -1051,7 +1060,12 @@ impl Tcb {
             && payload.is_empty()
             && !repr.flags.fin
             && self.snd_nxt != self.snd_una
+            && self.snd_wnd == prev_wnd
         {
+            // RFC 5681 duplicate-ACK test: the advertised window must be
+            // unchanged. A receiver draining its buffer sends pure window
+            // updates that repeat the ack number; counting those as dup
+            // ACKs fires spurious fast retransmits.
             self.process_dup_ack(now, out);
         }
         if window_opened {
@@ -1155,7 +1169,7 @@ impl Tcb {
                     CongestionControl::Off => unreachable!(),
                 };
             }
-            self.retransmit_head(now, out);
+            self.retransmit_head(now, out, unp_trace::RexmitReason::DupAck);
             // Restart the RTO for the retransmission.
             let rto = self.rtt.rto();
             self.arm_timer(TcpTimer::Retransmit, now + rto, out);

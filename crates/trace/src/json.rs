@@ -1,0 +1,307 @@
+//! A minimal JSON reader (the workspace is dependency-free by design).
+//!
+//! Every exporter in the workspace hand-rolls its JSON output; this is
+//! the matching input side, so tests can *parse* what the exporters
+//! wrote and compare structure instead of grepping substrings — schema
+//! drift then fails CI as a field mismatch, not a fuzzy string miss.
+//! `repro-tables` also uses it to fold the committed `BENCH_*.json`
+//! artifacts into the consolidated summary.
+//!
+//! Numbers are kept as `f64` (every artifact value fits losslessly:
+//! counters stay far below 2^53) and object keys keep their file order.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (None on non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number payload as u64 (rounded), if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|n| n.round() as u64)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn items(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Trailing whitespace is allowed; trailing
+/// garbage is an error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let b = text.as_bytes();
+    let mut pos = 0;
+    let v = value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+        Some(b't') => lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => lit(b, pos, "null", Value::Null),
+        Some(_) => number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs don't appear in our artifacts;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 passes through untouched.
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let s = std::str::from_utf8(&b[*pos..*pos + ch_len])
+                    .map_err(|_| format!("bad utf8 at byte {}", *pos))?;
+                out.push_str(s);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(out));
+    }
+    loop {
+        out.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let k = string(b, pos)?;
+        expect(b, pos, b':')?;
+        let v = value(b, pos)?;
+        out.push((k, v));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v = parse(r#"{"a": 1, "b": [true, null, -2.5e1], "c": "x\ny"}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        let b = v.get("b").and_then(Value::items).unwrap();
+        assert_eq!(b[0].as_bool(), Some(true));
+        assert_eq!(b[1], Value::Null);
+        assert_eq!(b[2].as_f64(), Some(-25.0));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x\ny"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn keys_keep_source_order() {
+        let v = parse(r#"{"z": 0, "a": 1}"#).unwrap();
+        let keys: Vec<_> = v
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn round_trips_the_journal_exporter() {
+        let recs = vec![crate::Record {
+            time: 10,
+            host: Some(1),
+            frame: Some(4),
+            event: crate::Event::DemuxClassify {
+                path: crate::PathKind::FlowTable,
+                filter_instrs: 8,
+                matched: true,
+            },
+        }];
+        let v = parse(&crate::render_json(&recs)).unwrap();
+        let items = v.items().unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(
+            items[0].get("event").and_then(Value::as_str),
+            Some("demux_classify")
+        );
+        assert_eq!(items[0].get("instrs").and_then(Value::as_u64), Some(8));
+        assert_eq!(items[0].get("matched").and_then(Value::as_bool), Some(true));
+    }
+}

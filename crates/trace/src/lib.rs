@@ -34,9 +34,12 @@
 //! two identical runs produce byte-identical journals (asserted by the
 //! workspace's `tests/journal.rs`).
 
+pub mod causal;
+pub mod json;
 pub mod metrics;
 pub mod profile;
 
+pub use causal::{Attribution, CausalGraph, Cause, Journey, JourneyFate, Loss};
 pub use metrics::{
     ChannelScope, ConnKey, ConnScope, Ctr, Gauge, Hist, Histogram, LinkScope, Metrics, Snapshot,
     Window,
@@ -87,6 +90,25 @@ impl Dir {
         match self {
             Dir::Rx => "rx",
             Dir::Tx => "tx",
+        }
+    }
+}
+
+/// Why TCP retransmitted: which detection mechanism fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RexmitReason {
+    /// The retransmission timer expired.
+    Rto,
+    /// Three duplicate ACKs triggered a fast retransmit.
+    DupAck,
+}
+
+impl RexmitReason {
+    /// Journal keyword for the reason (`rto` / `dup_ack`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RexmitReason::Rto => "rto",
+            RexmitReason::DupAck => "dup_ack",
         }
     }
 }
@@ -165,6 +187,12 @@ pub enum Event {
     NicRx { len: u32, accepted: bool },
     /// A frame was put on the wire.
     NicTx { len: u32 },
+    /// The wire hop of a transmitted frame, split into its two latency
+    /// components: `queue` is the wait for link access (CSMA backoff /
+    /// FDDI token rotation), `wire` is serialization plus propagation.
+    /// Emitted at the sender; a fault-injected reorder delay is *not*
+    /// included (it shows up as the gap to the receiver's `nic_rx`).
+    LinkTx { queue: Nanos, wire: Nanos },
     /// The network I/O module classified a frame. `matched == false`
     /// means no channel binding claimed it (kernel-default path).
     /// `filter_instrs` is the scan-equivalent instruction count the cost
@@ -183,7 +211,10 @@ pub enum Event {
         signal: bool,
     },
     /// A frame was dropped at ring placement (oversize or ring full).
-    RingDrop { channel: u32 },
+    /// `pressure == true` means the drop only happened because a fault
+    /// plan's slow-consumer window clamped the ring below its real
+    /// capacity — the proximate cause is injected pressure, not load.
+    RingDrop { channel: u32, pressure: bool },
     /// A library wakeup consumed a batch of frames from a channel ring.
     WakeupBatch { channel: u32, frames: u32 },
     /// The protocol library processed (rx) or built (tx) one TCP segment.
@@ -203,11 +234,15 @@ pub enum Event {
         remote_port: u16,
         rtt: Nanos,
     },
-    /// TCP retransmitted bytes (RTO fire or fast retransmit).
+    /// TCP retransmitted bytes (RTO fire or fast retransmit). `seq` is
+    /// the first sequence number being resent (`snd_una` at the firing
+    /// site); `reason` says which loss-detection mechanism fired.
     TcpRexmit {
         local_port: u16,
         remote_port: u16,
+        seq: u32,
         bytes: u32,
+        reason: RexmitReason,
     },
     /// An out-of-order segment was held in the reassembly buffer.
     TcpOooHold {
@@ -243,6 +278,7 @@ impl Event {
         match self {
             Event::NicRx { .. } => "nic_rx",
             Event::NicTx { .. } => "nic_tx",
+            Event::LinkTx { .. } => "link_tx",
             Event::DemuxClassify { .. } => "demux_classify",
             Event::RingEnqueue { .. } => "ring_enqueue",
             Event::RingDrop { .. } => "ring_drop",
@@ -263,6 +299,7 @@ impl Event {
         match self {
             Event::NicRx { len, accepted } => format!("len={len} accepted={accepted}"),
             Event::NicTx { len } => format!("len={len}"),
+            Event::LinkTx { queue, wire } => format!("queue={queue} wire={wire}"),
             Event::DemuxClassify {
                 path,
                 filter_instrs,
@@ -276,7 +313,7 @@ impl Event {
                 depth,
                 signal,
             } => format!("ch={channel} depth={depth} signal={signal}"),
-            Event::RingDrop { channel } => format!("ch={channel}"),
+            Event::RingDrop { channel, pressure } => format!("ch={channel} pressure={pressure}"),
             Event::WakeupBatch { channel, frames } => format!("ch={channel} frames={frames}"),
             Event::TcpSegment {
                 dir,
@@ -297,8 +334,13 @@ impl Event {
             Event::TcpRexmit {
                 local_port,
                 remote_port,
+                seq,
                 bytes,
-            } => format!("lp={local_port} rp={remote_port} bytes={bytes}"),
+                reason,
+            } => format!(
+                "lp={local_port} rp={remote_port} seq={seq} bytes={bytes} reason={}",
+                reason.label()
+            ),
             Event::TcpOooHold {
                 local_port,
                 remote_port,
@@ -709,12 +751,15 @@ mod tests {
                 time: 2,
                 host: None,
                 frame: None,
-                event: Event::RingDrop { channel: 9 },
+                event: Event::RingDrop {
+                    channel: 9,
+                    pressure: false,
+                },
             },
         ];
         assert_eq!(
             render(&recs),
-            "1 h- f- nic_tx len=5\n2 h- f- ring_drop ch=9\n"
+            "1 h- f- nic_tx len=5\n2 h- f- ring_drop ch=9 pressure=false\n"
         );
     }
 
@@ -730,7 +775,10 @@ mod tests {
             time: 5,
             host: Some(0),
             frame: Some(7),
-            event: Event::RingDrop { channel: 2 },
+            event: Event::RingDrop {
+                channel: 2,
+                pressure: false,
+            },
         };
         // Same tick, opposite emission orders: render must agree.
         let fwd = render(&[a.clone(), b.clone()]);

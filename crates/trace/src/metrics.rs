@@ -265,14 +265,26 @@ impl Histogram {
     }
 
     /// The `p`-quantile (0.0..=1.0) by nearest rank, or `None` if empty.
-    /// The extremes are exact (`min`/`max`); interior quantiles report
-    /// their bucket's lower bound (≤ 3.1% below the true sample — see the
-    /// type docs).
+    /// The extremes are exact (`min`/`max`, returned for `p <= 0.0` and
+    /// `p >= 1.0` without touching float rank math; NaN reads as 0.0);
+    /// interior quantiles report their bucket's lower bound (≤ 3.1% below
+    /// the true sample — see the type docs).
     pub fn quantile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if p.is_nan() || p <= 0.0 {
+            return Some(self.min);
+        }
+        if p >= 1.0 {
+            return Some(self.max);
+        }
+        // Nearest rank, with the product nudged down a hair before the
+        // ceiling: `p * count` can round a whisker above an exact integer
+        // boundary (0.001 * 7000 = 7.0000000000000001 in f64) and a bare
+        // `ceil` would then overshoot by a whole rank.
+        let product = p * self.count as f64;
+        let rank = ((product * (1.0 - 1e-12)).ceil() as u64).clamp(1, self.count);
         if rank == 1 {
             return Some(self.min);
         }
@@ -680,6 +692,56 @@ impl Snapshot {
                 .collect(),
         }
     }
+
+    /// Serializes the snapshot as JSON: the stamp time plus every
+    /// non-zero counter, every gauge, and per-histogram running totals.
+    /// Parses back with [`crate::json`] — the export tests round-trip it.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"time\": {},", self.time);
+        out.push_str(&json_levels(&self.counters, &self.gauges));
+        out.push_str(",\n  \"histograms\": {");
+        for (i, &h) in Hist::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{}\": {{\"count\": {}, \"sum\": {}}}",
+                if i > 0 { "," } else { "" },
+                h.name(),
+                self.hist_counts[h as usize],
+                self.hist_sums[h as usize],
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Shared counter/gauge JSON body for [`Snapshot`] and [`Window`]
+/// exports: non-zero counters (zeroes are noise in a report and the
+/// reader treats a missing key as zero) and every gauge.
+fn json_levels(counters: &[u64], gauges: &[u64]) -> String {
+    let mut out = String::from("\n  \"counters\": {");
+    let mut first = true;
+    for &c in Ctr::ALL {
+        let v = counters[c as usize];
+        if v == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {v}", c.name()));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, &g) in Gauge::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\n    \"{}\": {}",
+            if i > 0 { "," } else { "" },
+            g.name(),
+            gauges[g as usize]
+        ));
+    }
+    out.push_str("\n  }");
+    out
 }
 
 /// One sim-time telemetry window: counter/histogram deltas between two
@@ -804,6 +866,45 @@ impl Window {
     pub fn mean_ring_depth(&self) -> Option<f64> {
         self.hist_mean(Hist::RingDepth)
     }
+
+    /// Serializes the window as JSON: the bounds, every non-zero counter
+    /// delta, the gauge levels at the window's end, per-histogram slice
+    /// totals, and the derived rates the dashboards print (null where a
+    /// rate has no denominator). Parses back with [`crate::json`].
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or("null".into(), |x| format!("{x:.6}"))
+        }
+        let mut out = format!(
+            "{{\n  \"start\": {},\n  \"end\": {},\n  \"duration_ns\": {},",
+            self.start,
+            self.end,
+            self.duration()
+        );
+        out.push_str(&json_levels(&self.counters, &self.gauges));
+        out.push_str(",\n  \"histograms\": {");
+        for (i, &h) in Hist::ALL.iter().enumerate() {
+            let (n, sum) = self.hist_delta(h);
+            out.push_str(&format!(
+                "{}\n    \"{}\": {{\"count\": {n}, \"sum\": {sum}}}",
+                if i > 0 { "," } else { "" },
+                h.name(),
+            ));
+        }
+        let (flow, listen) = self.demux_table_sizes();
+        out.push_str(&format!(
+            "\n  }},\n  \"rates\": {{\n    \"rx_pps\": {:.3},\n    \"tx_pps\": {:.3},\n    \"rexmit_per_sec\": {:.3},\n    \"rexmit_share\": {},\n    \"flow_hit_rate\": {},\n    \"listen_hit_rate\": {},\n    \"keyed_hit_rate\": {},\n    \"mean_ring_depth\": {},\n    \"flow_entries\": {flow},\n    \"listen_entries\": {listen}\n  }}\n}}\n",
+            self.rx_pps(),
+            self.tx_pps(),
+            self.rexmit_per_sec(),
+            opt(self.rexmit_share()),
+            opt(self.flow_hit_rate()),
+            opt(self.listen_hit_rate()),
+            opt(self.keyed_hit_rate()),
+            opt(self.mean_ring_depth()),
+        ));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -910,6 +1011,34 @@ mod tests {
         );
         assert_eq!(h.quantile(0.0), Some(1));
         assert_eq!(h.quantile(1.0), Some(100_000));
+    }
+
+    #[test]
+    fn quantile_ranks_survive_float_boundary_products() {
+        // 0.001 * 7000 rounds to 7.0000000000000001 in f64, so a bare
+        // ceil lands on rank 8. With values 1..=7000 (rank k holds value
+        // k, all in the exact bucket range below the log-linear split for
+        // the first 255) the 0.001-quantile must be rank 7's value.
+        let mut h = Histogram::new();
+        for v in 1..=7000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.001), Some(7));
+        // Exact-boundary and out-of-range p clamp to the observed
+        // extremes without touching the rank math.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(-0.5), Some(1));
+        assert_eq!(h.quantile(1.0), Some(7000));
+        assert_eq!(h.quantile(1.5), Some(7000));
+        assert_eq!(h.quantile(f64::NAN), Some(1), "NaN reads as p=0");
+        // An exactly-representable product must not slip a rank down:
+        // 3500 is log-bucketed, so the answer is its bucket floor, within
+        // the documented 1/32 band and never above the true rank value.
+        let q = h.quantile(0.5).unwrap();
+        assert!(
+            q <= 3500 && 3500 - q <= 3500 / 32 + 1,
+            "p50 {q} outside the 1/32 band around 3500"
+        );
     }
 
     #[test]
@@ -1034,6 +1163,86 @@ mod tests {
 
         m.channel(1, 7).delivered += 9;
         assert_eq!(m.channels().next().unwrap().1.delivered, 9);
+    }
+
+    #[test]
+    fn snapshot_and_window_json_round_trip() {
+        use crate::json::{parse, Value};
+
+        let mut m = Metrics::new();
+        m.add(Ctr::FramesReceived, 120);
+        m.add(Ctr::FramesSent, 60);
+        m.add(Ctr::TcpRexmitSegs, 6);
+        m.add(Ctr::ChFlowHits, 80);
+        m.add(Ctr::ChListenHits, 10);
+        m.add(Ctr::ChScanFallbacks, 10);
+        m.gauge_set(Gauge::DemuxFlowEntries, 42);
+        m.sample(Hist::RingDepth, 3);
+        m.sample(Hist::RingDepth, 5);
+        let s0 = Metrics::new().snapshot(0);
+        let s1 = m.snapshot(2_000_000_000);
+
+        // Snapshot: every exported value parses back to its accessor.
+        let sj = parse(&s1.to_json()).expect("snapshot JSON parses");
+        assert_eq!(sj.get("time").and_then(Value::as_u64), Some(2_000_000_000));
+        let ctrs = sj.get("counters").unwrap();
+        assert_eq!(
+            ctrs.get("frames_received").and_then(Value::as_u64),
+            Some(s1.get(Ctr::FramesReceived))
+        );
+        assert_eq!(ctrs.get("app_crashes"), None, "zero counters are omitted");
+        assert_eq!(
+            sj.get("gauges")
+                .unwrap()
+                .get("demux_flow_entries")
+                .and_then(Value::as_u64),
+            Some(s1.gauge(Gauge::DemuxFlowEntries))
+        );
+        let rd = sj.get("histograms").unwrap().get("ring_depth").unwrap();
+        assert_eq!(rd.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(rd.get("sum").and_then(Value::as_u64), Some(8));
+
+        // Window: deltas, slice totals, and every derived rate agree with
+        // the accessors they were rendered from.
+        let w = s1.window_since(&s0);
+        let wj = parse(&w.to_json()).expect("window JSON parses");
+        assert_eq!(
+            wj.get("duration_ns").and_then(Value::as_u64),
+            Some(w.duration())
+        );
+        assert_eq!(
+            wj.get("counters")
+                .unwrap()
+                .get("tcp_rexmit_segs")
+                .and_then(Value::as_u64),
+            Some(w.delta(Ctr::TcpRexmitSegs))
+        );
+        let rates = wj.get("rates").unwrap();
+        assert_eq!(rates.get("rx_pps").and_then(Value::as_f64), Some(60.0));
+        assert_eq!(rates.get("tx_pps").and_then(Value::as_f64), Some(30.0));
+        let keyed = rates.get("keyed_hit_rate").and_then(Value::as_f64).unwrap();
+        assert!((keyed - w.keyed_hit_rate().unwrap()).abs() < 1e-6);
+        assert_eq!(
+            rates.get("flow_entries").and_then(Value::as_u64),
+            Some(w.demux_table_sizes().0)
+        );
+        assert_eq!(
+            rates.get("mean_ring_depth").and_then(Value::as_f64),
+            Some(4.0)
+        );
+
+        // A window with no traffic renders its denominator-less rates as
+        // null, and still parses.
+        let empty = s0.window_since(&s0);
+        let ej = parse(&empty.to_json()).expect("empty window JSON parses");
+        assert_eq!(
+            ej.get("rates").unwrap().get("rexmit_share"),
+            Some(&Value::Null)
+        );
+        assert_eq!(
+            ej.get("counters").and_then(Value::entries).map(<[_]>::len),
+            Some(0)
+        );
     }
 
     #[test]

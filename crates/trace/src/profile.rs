@@ -748,7 +748,15 @@ mod tests {
             // Ring drop.
             nic_rx(30, 2),
             classify(35, 2),
-            rec(40, 1, Some(2), Event::RingDrop { channel: 3 }),
+            rec(
+                40,
+                1,
+                Some(2),
+                Event::RingDrop {
+                    channel: 3,
+                    pressure: false,
+                },
+            ),
             // Corrupt discard after wakeup.
             nic_rx(50, 3),
             classify(55, 3),

@@ -6,12 +6,15 @@
 //!
 //! Three concurrent bulk transfers run through the user-level library
 //! organization while the simulation is stepped in 250 ms slices; each
-//! slice prints the live gauges and delivery counters. When the
-//! connections retire, their per-connection and per-channel scopes are
-//! filled in, and the registry's channel-stats handoff reports any
-//! binding that kept missing the fast path. A mildly lossy seeded
-//! [`FaultPlan`] runs underneath, so the fault-injection counters and
-//! per-link fault scopes have something to show.
+//! slice takes a [`Snapshot`] of the registry and prints the *rates
+//! over the window* — delivery and retransmit rates, and the demux
+//! fast-path hit rates (flow-table, keyed 4-tuple, 3-tuple listen) —
+//! rather than lifetime totals. When the connections retire, their
+//! per-connection and per-channel scopes are filled in, and the
+//! registry's channel-stats handoff reports any binding that kept
+//! missing the fast path. A mildly lossy seeded [`FaultPlan`] runs
+//! underneath, so the fault-injection counters and per-link fault
+//! scopes have something to show.
 
 use std::rc::Rc;
 
@@ -62,25 +65,46 @@ fn main() {
     // below show what was injected and recovered from.
     install_faults(&mut world, &mut engine, FaultPlan::lossy(7, 0.01));
 
-    // Step the world in slices, watching the gauges move.
+    // Step the world in slices, printing the deltas of each window:
+    // packet and retransmit rates plus the three demux fast-path hit
+    // rates (per-channel flow table, keyed 4-tuple map, 3-tuple listen
+    // table).
+    let pct = |r: Option<f64>| r.map_or("-".into(), |r| format!("{:.1}", r * 100.0));
     println!(
-        "{:<10} {:>5} {:>5} {:>8} {:>10} {:>9} {:>10}",
-        "sim time", "conns", "chans", "frames", "delivered", "batched", "avg batch"
+        "{:<10} {:>5} {:>5} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>9}",
+        "sim time",
+        "conns",
+        "chans",
+        "rx pps",
+        "tx pps",
+        "rexmit/s",
+        "flow %",
+        "keyed %",
+        "listen %",
+        "avg batch"
     );
     let slice = 250_000_000; // 250 ms of simulated time
     let mut deadline = slice;
+    let mut prev = world.metrics.snapshot(engine.now());
     loop {
         engine.run_until(&mut world, deadline);
+        let snap = world.metrics.snapshot(engine.now());
+        let w = snap.window_since(&prev);
         println!(
-            "{:<10} {:>5} {:>5} {:>8} {:>10} {:>9} {:>10.2}",
-            fmt_nanos(engine.now()),
-            world.metrics.gauge(Gauge::ActiveConnections),
-            world.metrics.gauge(Gauge::OpenChannels),
-            world.metrics.get(Ctr::FramesReceived),
-            world.metrics.get(Ctr::ChDeliveries),
-            world.metrics.get(Ctr::ChBatched),
-            world.metrics.mean(Hist::WakeupBatchFrames).unwrap_or(0.0),
+            "{:<10} {:>5} {:>5} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>8} {:>9}",
+            fmt_nanos(snap.time),
+            snap.gauge(Gauge::ActiveConnections),
+            snap.gauge(Gauge::OpenChannels),
+            w.rx_pps(),
+            w.tx_pps(),
+            w.rexmit_per_sec(),
+            pct(w.flow_hit_rate()),
+            pct(w.keyed_hit_rate()),
+            pct(w.listen_hit_rate()),
+            w.hist_mean(Hist::WakeupBatchFrames)
+                .map_or("-".into(), |b| format!("{b:.2}")),
         );
+        prev = snap;
         let done = stats
             .iter()
             .all(|(_, total, st)| st.borrow().bytes_received == *total);
