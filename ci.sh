@@ -87,4 +87,17 @@ grep -q '"attribution_coverage": 1.0000' BENCH_causal.json \
 echo "== demux churn-scaling gate (4096 vs 64 channels) =="
 cargo run -q -p unp-bench --release --offline --bin repro-tables -- --churn-gate
 
+# Multi-tenant isolation gate: three innocent tenants stream while a
+# budgeted byzantine tenant floods rings, burns transmit credit, replays
+# revoked capabilities, and crashes wedged. Innocent streams must stay
+# byte-exact inside the throughput/latency envelope of a
+# hostile-disabled baseline of the same seed, every quota drop must be
+# causally attributed to the hostile tenant, and nothing may leak after
+# the wedged crash. Writes BENCH_isolation.json (folded into
+# BENCH_summary.json).
+echo "== multi-tenant isolation gate (byzantine tenant vs quota envelope) =="
+cargo run -q -p unp-bench --release --offline --bin repro-tables -- --isolation-gate
+grep -q '"quota_drops_misattributed": 0' BENCH_isolation.json \
+  || { echo "BENCH_isolation.json reports misattributed quota drops"; exit 1; }
+
 echo "CI gate passed."

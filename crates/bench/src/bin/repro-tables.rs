@@ -42,12 +42,17 @@
 //! #   export against tests/golden/causal_trace.json; skips the tables
 //! cargo run -p unp-bench --release --bin repro-tables -- --explain-baseline
 //! #   (re)generate the golden Chrome trace + BENCH_causal.json
+//! cargo run -p unp-bench --release --bin repro-tables -- --isolation-gate
+//! #   CI gate: run the multi-tenant isolation oracle (three innocent
+//! #   tenants + one byzantine tenant, baseline vs hostile run of the
+//! #   same seed), assert the isolation envelope, and write
+//! #   BENCH_isolation.json; skips the tables
 //! cargo run -p unp-bench --release --bin repro-tables -- --summary
 //! #   fold the headline scalar of every committed BENCH_*.json into
 //! #   BENCH_summary.json (also written by the artifact modes above)
 //! ```
 
-use unp_bench::{causal, demux, profile, scale, summary, tables, timings, trace};
+use unp_bench::{causal, demux, isolation, profile, scale, summary, tables, timings, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +70,7 @@ fn main() {
     let want_explain_gate = args.iter().any(|a| a == "--explain-gate");
     let want_explain_baseline = args.iter().any(|a| a == "--explain-baseline");
     let want_summary = args.iter().any(|a| a == "--summary");
+    let want_isolation_gate = args.iter().any(|a| a == "--isolation-gate");
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     let rounds = if quick { 10 } else { 30 };
 
@@ -91,6 +97,25 @@ fn main() {
     if let Some(i) = explain_pos {
         let graph = causal::causal_section();
         causal::print_explain(&graph, args.get(i + 1).map(String::as_str));
+        return;
+    }
+
+    if want_isolation_gate {
+        match isolation::gate() {
+            Ok((lines, json)) => {
+                for l in lines {
+                    println!("{l}");
+                }
+                let path = "BENCH_isolation.json";
+                std::fs::write(path, json).expect("write isolation json");
+                println!("wrote {path}");
+                summary::write();
+            }
+            Err(msg) => {
+                eprintln!("isolation gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
 

@@ -9,6 +9,7 @@
 
 pub mod causal;
 pub mod demux;
+pub mod isolation;
 pub mod profile;
 pub mod scale;
 pub mod summary;

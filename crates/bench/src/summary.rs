@@ -68,6 +68,13 @@ const SOURCES: &[(&str, &[(&str, &str)])] = &[
             ("rexmits_attributed", "rexmits"),
         ],
     ),
+    (
+        "BENCH_isolation.json",
+        &[
+            ("innocent_throughput_ratio_min", "throughput_ratio_min"),
+            ("quota_drops_misattributed", "quota_drops_misattributed"),
+        ],
+    ),
 ];
 
 /// Walks `path` (`a.b[0].c`, `[-1]` for the last element) through a

@@ -652,9 +652,18 @@ impl DescRing {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RingId(pub u32);
 
-/// An owner tag for access control on BQI entries (a process/library id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct OwnerTag(pub u64);
+/// A tenant identity: the unit of access control *and* resource
+/// accounting. Every channel, BQI entry, and port right is owned by a
+/// tenant, and the kernel's per-tenant budgets (ring-slot quota,
+/// transmit credit, channel cap) are charged against this id.
+/// `TenantId(0)` is the kernel itself and is exempt from budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+/// The historical name for [`TenantId`]: an owner tag for access control
+/// on BQI entries (a process/library id). Kept as an alias so existing
+/// `OwnerTag(x)` constructors and type positions keep compiling.
+pub use TenantId as OwnerTag;
 
 /// The AN1 controller's buffer-queue-index table.
 ///

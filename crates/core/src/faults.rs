@@ -93,6 +93,53 @@ pub struct Crash {
     pub at: Nanos,
 }
 
+/// What a hostile (byzantine) tenant does during its window. Every kind
+/// is driven by the schedule alone — no RNG draws — so a plan with
+/// byzantine schedules but nothing else replays byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineKind {
+    /// The tenant's library never wakes up to consume: its receive
+    /// rings fill until the per-tenant ring-slot quota starts dropping.
+    RingFlood,
+    /// Every `period` ns the tenant transmits a burst of `burst` valid
+    /// frames, burning shared NIC/tx capacity until its transmit credit
+    /// runs dry.
+    TransmitFlood { burst: usize, period: Nanos },
+    /// Every `period` ns the tenant replays a revoked capability and
+    /// fires a template-violating transmit on a valid one — a storm of
+    /// kernel check failures.
+    CapabilityStorm { period: Nanos },
+    /// Every `period` ns the tenant re-announces a stale BQI for one of
+    /// its channels to the peer host.
+    StaleBqi { period: Nanos },
+    /// When crashed, the tenant's library sweep never runs; only the
+    /// registry death notice and the kernel owner-reclaim backstop may
+    /// clean up after it.
+    WedgedRegistry,
+}
+
+/// One hostile tenant's scheduled behaviour window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzantineSchedule {
+    /// The host whose net I/O module the tenant lives on.
+    pub host: usize,
+    /// The misbehaving tenant id.
+    pub tenant: u64,
+    /// What it does.
+    pub kind: ByzantineKind,
+    /// Window start (inclusive).
+    pub start: Nanos,
+    /// Window end (exclusive).
+    pub end: Nanos,
+}
+
+impl ByzantineSchedule {
+    /// Whether the window covers `now`.
+    pub fn active(&self, now: Nanos) -> bool {
+        now >= self.start && now < self.end
+    }
+}
+
 /// What happens to one delivered copy of a frame.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FrameFate {
@@ -124,6 +171,8 @@ pub struct FaultPlan {
     pub pressure: Vec<RingPressure>,
     /// Scheduled application crashes.
     pub crashes: Vec<Crash>,
+    /// Scheduled byzantine-tenant behaviour windows.
+    pub byzantine: Vec<ByzantineSchedule>,
     rng: XorShift,
 }
 
@@ -137,6 +186,7 @@ impl FaultPlan {
             outages: Vec::new(),
             pressure: Vec::new(),
             crashes: Vec::new(),
+            byzantine: Vec::new(),
             rng: XorShift::new(0),
         }
     }
@@ -235,6 +285,52 @@ impl FaultPlan {
             .iter()
             .find(|p| p.host == host && now >= p.start && now < p.end)
             .map(|p| p.cap)
+    }
+
+    /// Whether `tenant` on `host` is in an active window of `kind`.
+    /// Makes no RNG draw — byzantine behaviour is schedule-driven only.
+    pub fn byzantine_active(
+        &self,
+        host: usize,
+        tenant: u64,
+        kind: ByzantineKind,
+        now: Nanos,
+    ) -> bool {
+        self.enabled
+            && self
+                .byzantine
+                .iter()
+                .any(|b| b.host == host && b.tenant == tenant && b.kind == kind && b.active(now))
+    }
+
+    /// Whether `tenant` on `host` is ring-flooding at `now` (its library
+    /// wakeups are suppressed so rings fill).
+    pub fn ring_flood_active(&self, host: usize, tenant: u64, now: Nanos) -> bool {
+        self.byzantine_active(host, tenant, ByzantineKind::RingFlood, now)
+    }
+
+    /// Whether `tenant` on `host` is marked wedged: its library sweep is
+    /// skipped on crash and reclamation falls to the registry/kernel
+    /// backstops. Window-independent by design — wedging is a property
+    /// of the process, not of a time slice.
+    pub fn tenant_wedged(&self, host: usize, tenant: u64) -> bool {
+        self.enabled
+            && self.byzantine.iter().any(|b| {
+                b.host == host && b.tenant == tenant && b.kind == ByzantineKind::WedgedRegistry
+            })
+    }
+
+    /// All byzantine schedules on `host` whose kind carries a period —
+    /// the world turns each into a deterministic tick train.
+    pub fn byzantine_on(&self, host: usize) -> Vec<ByzantineSchedule> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        self.byzantine
+            .iter()
+            .filter(|b| b.host == host)
+            .copied()
+            .collect()
     }
 }
 
@@ -338,6 +434,55 @@ mod tests {
         assert!(p.fate(0, 1, 0).drop, "forward direction fully lossy");
         let back = p.fate(1, 0, 0);
         assert!(!back.drop && !back.corrupt, "reverse direction clean");
+    }
+
+    #[test]
+    fn byzantine_windows_are_schedule_driven_and_rng_free() {
+        let mut p = FaultPlan::clean(11);
+        p.byzantine.push(ByzantineSchedule {
+            host: 0,
+            tenant: 7,
+            kind: ByzantineKind::RingFlood,
+            start: 1_000,
+            end: 5_000,
+        });
+        p.byzantine.push(ByzantineSchedule {
+            host: 0,
+            tenant: 7,
+            kind: ByzantineKind::WedgedRegistry,
+            start: 0,
+            end: 0,
+        });
+        let rng_before = format!("{:?}", p.rng);
+        assert!(!p.ring_flood_active(0, 7, 999));
+        assert!(p.ring_flood_active(0, 7, 1_000));
+        assert!(p.ring_flood_active(0, 7, 4_999));
+        assert!(!p.ring_flood_active(0, 7, 5_000));
+        // Other tenants and hosts are unaffected.
+        assert!(!p.ring_flood_active(0, 8, 2_000));
+        assert!(!p.ring_flood_active(1, 7, 2_000));
+        // Wedging ignores the window entirely.
+        assert!(p.tenant_wedged(0, 7));
+        assert!(!p.tenant_wedged(0, 8));
+        assert_eq!(p.byzantine_on(0).len(), 2);
+        assert!(p.byzantine_on(1).is_empty());
+        // None of the queries advanced the RNG.
+        assert_eq!(format!("{:?}", p.rng), rng_before);
+    }
+
+    #[test]
+    fn disabled_plan_suppresses_byzantine_schedules() {
+        let mut p = FaultPlan::none();
+        p.byzantine.push(ByzantineSchedule {
+            host: 0,
+            tenant: 7,
+            kind: ByzantineKind::RingFlood,
+            start: 0,
+            end: u64::MAX,
+        });
+        assert!(!p.ring_flood_active(0, 7, 100));
+        assert!(!p.tenant_wedged(0, 7));
+        assert!(p.byzantine_on(0).is_empty());
     }
 
     #[test]

@@ -35,9 +35,12 @@ pub mod sockets;
 pub mod world;
 
 pub use app::{AppLogic, AppOp, AppView, BulkSender, EchoApp, PingPongApp, SinkApp, TransferStats};
-pub use faults::{Crash, FaultPlan, LinkFaults, Outage, RingPressure};
+pub use faults::{
+    ByzantineKind, ByzantineSchedule, Crash, FaultPlan, LinkFaults, Outage, RingPressure,
+};
 pub use world::{
-    build_hosts, build_two_hosts, crash_host, install_faults, Eng, Host, Network, OrgKind, World,
+    build_hosts, build_two_hosts, crash_host, crash_tenant, install_faults, sync_tenant_scopes,
+    Eng, Host, Network, OrgKind, World,
 };
 
 /// Congestion-control selection for the ablation experiments.

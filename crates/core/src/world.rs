@@ -179,6 +179,16 @@ pub struct Host {
     hs_by_chan: HashMap<ChannelId, u64>,
     pending_apps: HashMap<u64, Box<dyn crate::app::AppLogic>>,
     pending_write_sizes: HashMap<u64, usize>,
+    /// Tenant override per listening port ([`listen_as`]); absent ports
+    /// belong to the host's default single-app tenant.
+    listener_tenants: HashMap<u16, OwnerTag>,
+    /// Tenant override per in-flight active handshake ([`connect_as`]),
+    /// keyed by raw hs id.
+    pending_tenants: HashMap<u64, OwnerTag>,
+    /// Revoked capabilities the byzantine capability-storm replays, one
+    /// per hostile tenant (minted from a destroyed scratch channel on the
+    /// storm's first tick).
+    stale_caps: HashMap<u64, Capability>,
     /// Peer BQI announcements keyed by (local port, remote ip, remote port).
     announced: HashMap<(u16, Ipv4Addr, u16), u16>,
     reg_timers: HashMap<(u64, TcpTimer), TimerId>,
@@ -385,6 +395,9 @@ pub fn build_hosts(n: usize, network: Network, org: OrgKind) -> (World, Eng) {
             hs_by_chan: HashMap::new(),
             pending_apps: HashMap::new(),
             pending_write_sizes: HashMap::new(),
+            listener_tenants: HashMap::new(),
+            pending_tenants: HashMap::new(),
+            stale_caps: HashMap::new(),
             announced: HashMap::new(),
             reg_timers: HashMap::new(),
             parked: HashMap::new(),
@@ -420,7 +433,173 @@ pub fn install_faults(w: &mut World, eng: &mut Eng, plan: crate::faults::FaultPl
         let host = c.host;
         eng.at(c.at, move |w, eng| crash_host(w, eng, host));
     }
+    // Periodic byzantine-tenant behaviours become deterministic tick
+    // trains; window-shaped kinds (ring flood, wedged registry) are
+    // consulted in place by the data path and need no events.
+    for b in &plan.byzantine {
+        use crate::faults::ByzantineKind;
+        let (host, tenant, end) = (b.host, b.tenant, b.end);
+        match b.kind {
+            ByzantineKind::TransmitFlood { period, .. }
+            | ByzantineKind::CapabilityStorm { period }
+            | ByzantineKind::StaleBqi { period } => {
+                assert!(period > 0, "byzantine period must be positive");
+                let kind = b.kind;
+                eng.at(b.start, move |w, eng| {
+                    byzantine_tick(w, eng, host, tenant, kind, end);
+                });
+            }
+            ByzantineKind::RingFlood | ByzantineKind::WedgedRegistry => {}
+        }
+    }
     w.faults = plan;
+}
+
+/// One firing of a periodic byzantine behaviour; reschedules itself until
+/// the window closes. Every action is resource-bounded by the tenant's
+/// own budget — that containment is precisely what the isolation oracle
+/// measures.
+fn byzantine_tick(
+    w: &mut World,
+    eng: &mut Eng,
+    host: usize,
+    tenant: u64,
+    kind: crate::faults::ByzantineKind,
+    end: Nanos,
+) {
+    use crate::faults::ByzantineKind;
+    let now = eng.now();
+    if now >= end || !w.faults.enabled {
+        return;
+    }
+    // The hostile tenant abuses its own established connection — the
+    // lowest-numbered one, so the pick is deterministic across runs.
+    let target = w.hosts[host]
+        .conns
+        .iter()
+        .filter_map(|(&cid, c)| {
+            let ci = c.chan.as_ref()?;
+            (w.hosts[host].netio.channel_owner(ci.id) == Some(OwnerTag(tenant))).then(|| {
+                (
+                    cid,
+                    ci.send_cap,
+                    ci.peer_bqi.unwrap_or(0),
+                    c.tcb.local(),
+                    c.tcb.remote(),
+                )
+            })
+        })
+        .min_by_key(|&(cid, ..)| cid)
+        .map(|(_, cap, bqi, l, r)| (cap, bqi, l, r));
+    if let Some((send_cap, bqi, local, remote)) = target {
+        match kind {
+            ByzantineKind::TransmitFlood { burst, .. } => {
+                // A burst of template-valid empty ACKs: each passes the
+                // kernel's checks and burns wire + CPU + tx credit until
+                // the tenant's per-window allowance runs dry.
+                let repr = TcpRepr {
+                    src_port: local.1,
+                    dst_port: remote.1,
+                    seq: unp_wire::SeqNum(0),
+                    ack_num: unp_wire::SeqNum(0),
+                    flags: unp_wire::TcpFlags::ack(),
+                    window: 0,
+                    mss: None,
+                };
+                for _ in 0..burst {
+                    emit_tcp_segment(w, eng, host, &repr, &[], remote.0, bqi, 0, Some(send_cap));
+                }
+            }
+            ByzantineKind::CapabilityStorm { .. } => {
+                // A replayed revoked capability (BadCapability) plus a
+                // template-violating transmit on the real one (spoofed
+                // source port): both die inside the kernel, charged to
+                // the tenant's credit, never reaching the wire.
+                let stale = stale_cap_for(w, host, tenant);
+                let frame_len = w.hosts[host].link_header_len() + IPV4_HEADER_LEN + 20;
+                let junk = vec![0u8; frame_len];
+                let _ = w.hosts[host].netio.transmit(stale, &junk);
+                w.hosts[host].netio.advance_tx_window(now);
+                let spoof = TcpRepr {
+                    src_port: local.1.wrapping_add(1),
+                    dst_port: remote.1,
+                    seq: unp_wire::SeqNum(0),
+                    ack_num: unp_wire::SeqNum(0),
+                    flags: unp_wire::TcpFlags::ack(),
+                    window: 0,
+                    mss: None,
+                };
+                emit_tcp_segment(w, eng, host, &spoof, &[], remote.0, bqi, 0, Some(send_cap));
+                let c = w.costs.trap;
+                w.hosts[host].cpu.charge(now, c);
+            }
+            ByzantineKind::StaleBqi { .. } => {
+                // Replay a stale BQI announcement into the peer host's
+                // pending-announce map. Announcements are only consumed
+                // at connection finalization, so a post-establishment
+                // replay must change nothing for anyone — the oracle's
+                // baseline comparison proves it.
+                if let Some(peer) = w.hosts.iter().position(|p| p.ip == remote.0) {
+                    let local_ip = w.hosts[host].ip;
+                    let key = (remote.1, local_ip, local.1);
+                    w.hosts[peer].announced.insert(key, bqi);
+                }
+            }
+            ByzantineKind::RingFlood | ByzantineKind::WedgedRegistry => unreachable!(),
+        }
+    }
+    let period = match kind {
+        ByzantineKind::TransmitFlood { period, .. }
+        | ByzantineKind::CapabilityStorm { period }
+        | ByzantineKind::StaleBqi { period } => period,
+        _ => return,
+    };
+    let next = now + period;
+    if next < end {
+        eng.at(next, move |w, eng| {
+            byzantine_tick(w, eng, host, tenant, kind, end);
+        });
+    }
+}
+
+/// The revoked capability a capability-storm tenant replays: minted once
+/// from a scratch channel that is created and immediately destroyed, so
+/// every later use is a genuine use-after-revoke the kernel must refuse.
+fn stale_cap_for(w: &mut World, host: usize, tenant: u64) -> Capability {
+    if let Some(&c) = w.hosts[host].stale_caps.get(&tenant) {
+        return c;
+    }
+    let lhl = w.hosts[host].link_header_len();
+    let local_ip = w.hosts[host].ip;
+    let scratch_remote = Ipv4Addr::new(203, 0, 113, 254); // TEST-NET-3: never a sim host
+    let spec = unp_registry::connection_demux_spec(lhl, (local_ip, 7), (scratch_remote, 7));
+    let template = HeaderTemplate {
+        link_header_len: lhl,
+        src_mac: Some(w.hosts[host].mac),
+        dst_mac: None,
+        ethertype: EtherType::Ipv4,
+        protocol: IpProtocol::Tcp,
+        src_ip: local_ip,
+        dst_ip: scratch_remote,
+        src_port: 7,
+        dst_port: Some(7),
+        bqi: None,
+    };
+    // Prefer minting under the hostile tenant itself; if its channel cap
+    // is already exhausted (part of the attack surface), fall back to a
+    // kernel-owned scratch — the replay is equally dead either way.
+    let created = w.hosts[host]
+        .netio
+        .try_create_channel(OwnerTag(tenant), &spec, template.clone(), 2, 256)
+        .unwrap_or_else(|| {
+            w.hosts[host]
+                .netio
+                .create_channel(OwnerTag(0), &spec, template, 2, 256)
+        });
+    let (id, send_cap, ..) = created;
+    w.hosts[host].netio.destroy_channel(id, OwnerTag(0));
+    w.hosts[host].stale_caps.insert(tenant, send_cap);
+    send_cap
 }
 
 /// Charges `cost` to host `h`'s CPU and schedules `f` at completion.
@@ -459,11 +638,29 @@ pub fn listen(
     factory: Box<dyn FnMut() -> Box<dyn crate::app::AppLogic>>,
 ) {
     let owner = w.hosts[host].owner();
+    listen_as(w, host, owner, port, cfg, factory);
+}
+
+/// [`listen`] for an explicit tenant: the listening port, its registry
+/// binding, and every channel accepted through it are owned by `tenant`
+/// instead of the host's default single-app owner, so multiple tenants
+/// can share one host's network I/O module under separate budgets.
+pub fn listen_as(
+    w: &mut World,
+    host: usize,
+    tenant: OwnerTag,
+    port: u16,
+    cfg: TcpConfig,
+    factory: Box<dyn FnMut() -> Box<dyn crate::app::AppLogic>>,
+) {
     if w.hosts[host].org.is_user_library() {
         w.hosts[host]
             .registry
-            .listen(owner, port, cfg.clone())
+            .listen(tenant, port, cfg.clone())
             .expect("listen port free");
+    }
+    if tenant != w.hosts[host].owner() {
+        w.hosts[host].listener_tenants.insert(port, tenant);
     }
     w.hosts[host]
         .listeners
@@ -482,12 +679,30 @@ pub fn connect(
     app: Box<dyn crate::app::AppLogic>,
     write_size: usize,
 ) {
+    connect_as(w, eng, host, None, remote, cfg, app, write_size);
+}
+
+/// [`connect`] for an explicit tenant (UserLibrary organization): the
+/// registry binding and the connection's channel are owned by `tenant`,
+/// so its ring slots and transmit credit draw on that tenant's budget.
+/// `None` keeps the host's default single-app owner.
+#[allow(clippy::too_many_arguments)]
+pub fn connect_as(
+    w: &mut World,
+    eng: &mut Eng,
+    host: usize,
+    tenant: Option<OwnerTag>,
+    remote: (Ipv4Addr, u16),
+    cfg: TcpConfig,
+    app: Box<dyn crate::app::AppLogic>,
+    write_size: usize,
+) {
     match w.hosts[host].org {
         OrgKind::UserLibrary => {
             // App → registry RPC, then non-overlapped outbound processing.
             let cost = w.costs.registry_rpc + w.costs.registry_connect_processing;
             host_exec(w, eng, host, cost, move |w, eng| {
-                let owner = w.hosts[host].owner();
+                let owner = tenant.unwrap_or_else(|| w.hosts[host].owner());
                 let now = eng.now();
                 let (hs, actions) = w.hosts[host]
                     .registry
@@ -495,6 +710,9 @@ pub fn connect(
                     .expect("ports available");
                 w.hosts[host].pending_apps.insert(hs.0, app);
                 w.hosts[host].pending_write_sizes.insert(hs.0, write_size);
+                if owner != w.hosts[host].owner() {
+                    w.hosts[host].pending_tenants.insert(hs.0, owner);
+                }
                 apply_registry_actions(w, eng, host, actions);
             });
         }
@@ -1329,6 +1547,18 @@ fn userlib_ip_input(
                 DemuxPath::Hardware => {}
             }
             w.metrics.sample(Hist::RingDepth, depth as u64);
+            // Byzantine ring-flood: the hostile tenant's library "never
+            // wakes up", so its rings fill until the per-tenant quota
+            // sheds further deliveries. Only the demux bookkeeping is
+            // charged — exactly the batched path's cost shape.
+            if let Some(owner) = w.hosts[h].netio.channel_owner(id) {
+                if w.faults.ring_flood_active(h, owner.0, eng.now()) {
+                    w.hosts[h]
+                        .cpu
+                        .charge_priority(eng.now(), demux_cost + c.ring_op);
+                    return;
+                }
+            }
             let signal = signal || w.ablate_batching;
             if signal {
                 let cost = demux_cost
@@ -1356,6 +1586,10 @@ fn userlib_ip_input(
             });
         }
         Delivery::Dropped => w.metrics.bump(Ctr::ChRingDrops),
+        // The channel had room but its tenant's aggregate ring budget was
+        // exhausted — charged to the tenant, recovered by TCP like any
+        // other ring drop.
+        Delivery::QuotaDropped { .. } => w.metrics.bump(Ctr::ChQuotaDrops),
     }
 }
 
@@ -1687,6 +1921,7 @@ fn apply_registry_actions(w: &mut World, eng: &mut Eng, h: usize, actions: Vec<R
                     w.metrics.gauge_dec(Gauge::OpenChannels);
                     sync_demux_gauges(w);
                 }
+                w.hosts[h].pending_tenants.remove(&hs.0);
                 if let Some(mut app) = w.hosts[h].pending_apps.remove(&hs.0) {
                     let view = crate::app::AppView {
                         now: eng.now(),
@@ -1715,6 +1950,29 @@ fn sync_demux_gauges(w: &mut World) {
     }
     w.metrics.gauge_set(Gauge::DemuxFlowEntries, flow);
     w.metrics.gauge_set(Gauge::DemuxListenEntries, listen);
+}
+
+/// Mirrors every kernel tenant account into the metrics registry's
+/// [`unp_trace::TenantScope`]s. Called when quota enforcement fires and
+/// by reporting code before it reads the scopes; cheap (a handful of
+/// tenants per host), and a no-op on worlds that never budget anyone
+/// beyond each host's default owner.
+pub fn sync_tenant_scopes(w: &mut World) {
+    for h in 0..w.hosts.len() {
+        for t in w.hosts[h].netio.tenant_ids() {
+            let Some(s) = w.hosts[h].netio.tenant_stats(t) else {
+                continue;
+            };
+            let scope = w.metrics.tenant(h as u16, t.0);
+            scope.rx_delivered = s.rx_delivered;
+            scope.tx_frames = s.tx_frames;
+            scope.quota_drops = s.quota_drops;
+            scope.tx_rejections = s.tx_rejections;
+            scope.ring_slots = s.ring_slots as u64;
+            scope.ring_quota = s.ring_quota as u64;
+            scope.open_channels = s.open_channels as u64;
+        }
+    }
 }
 
 /// Creates the channel, template, and (on AN1) BQI for a handshake the
@@ -1751,17 +2009,32 @@ fn ensure_hs_setup(w: &mut World, h: usize, hs: HsId, repr: &TcpRepr, remote: Ip
         dst_port: Some(remote_port),
         bqi: None,
     };
-    let owner = w.hosts[h].owner();
+    // Channel ownership: an active open's tenant was pinned at connect
+    // time; a passive open inherits the listening port's tenant. Both
+    // default to the host's single-app owner.
+    let owner = w.hosts[h]
+        .pending_tenants
+        .get(&hs.0)
+        .or_else(|| w.hosts[h].listener_tenants.get(&local_port))
+        .copied()
+        .unwrap_or_else(|| w.hosts[h].owner());
     let mtu = w.link.params().mtu;
     // The pinned region must cover a full advertised window of segments
     // (paper: "this memory is kept pinned for the duration of the
     // connection"). The window is byte-based (≤64 kB) but the ring is
     // slot-based, so size it for the worst case of small segments: a
     // 64 kB window of ~100-byte no-Nagle dribble segments.
-    let (chan_id, send_cap, recv_cap, ring) =
+    let Some((chan_id, send_cap, recv_cap, ring)) =
         w.hosts[h]
             .netio
-            .create_channel(owner, &spec, template, 768, mtu + lhl + 8);
+            .try_create_channel(owner, &spec, template, 768, mtu + lhl + 8)
+    else {
+        // The tenant is at its channel cap: no channel, no hs record. The
+        // handshake can never finalize at the library level; the peer's
+        // retransmits run out and the connection fails — contained to the
+        // over-cap tenant.
+        return;
+    };
     w.metrics.gauge_inc(Gauge::OpenChannels);
     sync_demux_gauges(w);
     let our_bqi = match &mut w.hosts[h].nic {
@@ -1816,6 +2089,7 @@ fn finalize_user_conn(w: &mut World, eng: &mut Eng, h: usize, hs: HsId, tcb: Tcb
         return;
     };
     let write_size = w.hosts[h].pending_write_sizes.remove(&hs.0).unwrap_or(4096);
+    w.hosts[h].pending_tenants.remove(&hs.0);
     let cid = install_conn(w, h, tcb, app, Some(chan), write_size);
     w.metrics.bump(Ctr::ConnectionsEstablished);
     // Frames the kernel parked while the channel was being finalized.
@@ -2071,11 +2345,22 @@ fn emit_tcp_segment(
             payload: payload.len() as u32,
             wire: (frame.len() - lhl) as u32,
         });
-        // UserLibrary: the template check really runs.
+        // UserLibrary: the template check really runs. Transmit-credit
+        // windows roll forward first so a budgeted tenant's refill
+        // instants depend only on sim time, never on call order.
         if let Some(cap) = send_cap {
-            if w.hosts[h].netio.transmit_frame(cap, &frame).is_err() {
-                w.metrics.bump(Ctr::TxTemplateRejections);
-                continue;
+            let now = eng.now();
+            w.hosts[h].netio.advance_tx_window(now);
+            match w.hosts[h].netio.transmit_frame(cap, &frame) {
+                Ok(_) => {}
+                Err(unp_kernel::TxError::QuotaExceeded) => {
+                    w.metrics.bump(Ctr::TxQuotaRejections);
+                    continue;
+                }
+                Err(_) => {
+                    w.metrics.bump(Ctr::TxTemplateRejections);
+                    continue;
+                }
             }
         }
         let cost = tx_device_cost(w, h, frame.len());
@@ -2378,6 +2663,14 @@ pub fn app_exit(w: &mut World, eng: &mut Eng, host: usize, cid: u32, abnormal: b
     let Some(conn) = w.hosts[host].conns.remove(&cid) else {
         return;
     };
+    // The registry tracks the connection under the tenant that opened it
+    // (the channel's owner); default single-app conns resolve to the
+    // host owner as before. Captured before the channel is destroyed.
+    let owner = conn
+        .chan
+        .as_ref()
+        .and_then(|ci| w.hosts[host].netio.channel_owner(ci.id))
+        .unwrap_or_else(|| w.hosts[host].owner());
     let chan_stats = {
         let hostref = &mut w.hosts[host];
         for id in conn.timer_ids.values() {
@@ -2401,7 +2694,6 @@ pub fn app_exit(w: &mut World, eng: &mut Eng, host: usize, cid: u32, abnormal: b
     };
     retire_conn_stats(w, host, &conn.tcb, chan_stats);
     resched_wheel(w, eng, host);
-    let owner = w.hosts[host].owner();
     // The registry's inheritance work (reset or orderly close) costs one
     // app↔server interaction plus its usual per-packet device path.
     let cost = w.costs.registry_rpc;
@@ -2524,6 +2816,165 @@ pub fn crash_host(w: &mut World, eng: &mut Eng, host: usize) {
     }
     let freed = match &mut w.hosts[host].nic {
         Nic::An1(nic) => nic.bqi_table.reclaim_owner(owner),
+        Nic::Lance(_) => Vec::new(),
+    };
+    for slot in freed {
+        reclaim(w, ReclaimKind::Bqi, slot as u32);
+    }
+    resched_wheel(w, eng, host);
+}
+
+/// One tenant's process on `host` dies abruptly; the host's other tenants
+/// keep running. The reclamation mirrors [`crash_host`]'s three stages,
+/// restricted to state tagged with `tenant` — unless the fault plan marks
+/// the tenant [`wedged`](crate::faults::FaultPlan::tenant_wedged), in
+/// which case the library-side sweep (stage 1 and the per-connection
+/// inheritance RPCs) never runs and only the registry death notice plus
+/// the kernel/BQI owner-reclaim backstop clean up after it. The isolation
+/// oracle asserts both routes end with zero leaked resources.
+pub fn crash_tenant(w: &mut World, eng: &mut Eng, host: usize, tenant: OwnerTag) {
+    use unp_trace::ReclaimKind;
+    let _attr = unp_trace::host_scope(host as u16);
+    let h16 = host as u16;
+    let wedged = w.faults.tenant_wedged(host, tenant.0);
+    w.metrics.bump(Ctr::AppCrashes);
+    unp_trace::emit_at(h16, None, || unp_trace::Event::FaultInject {
+        kind: unp_trace::FaultKind::Crash,
+        from: h16,
+        to: h16,
+    });
+    let owner32 = tenant.0 as u32;
+    let reclaim = |w: &mut World, kind: ReclaimKind, id: u32| {
+        w.metrics.bump(Ctr::ResourceReclaims);
+        unp_trace::emit_at(h16, None, || unp_trace::Event::ResourceReclaim {
+            kind,
+            owner: owner32,
+            id,
+        });
+    };
+    // The tenant's listener factories die with it.
+    let mut ports: Vec<u16> = w.hosts[host]
+        .listener_tenants
+        .iter()
+        .filter(|(_, &t)| t == tenant)
+        .map(|(&p, _)| p)
+        .collect();
+    ports.sort_unstable();
+    for &port in &ports {
+        w.hosts[host].listeners.remove(&port);
+        w.hosts[host].listener_tenants.remove(&port);
+        reclaim(w, ReclaimKind::Listener, port as u32);
+    }
+    if !wedged {
+        // Stage 1: the library sweep. Pending-app state for the tenant's
+        // in-flight active opens is purged, its handshake channels are
+        // destroyed, and each established connection takes the normal
+        // abnormal-exit inheritance path (registry resets the peer).
+        let mut hss: Vec<u64> = w.hosts[host]
+            .pending_tenants
+            .iter()
+            .filter(|(_, &t)| t == tenant)
+            .map(|(&hs, _)| hs)
+            .collect();
+        hss.sort_unstable();
+        for hs in &hss {
+            w.hosts[host].pending_apps.remove(hs);
+            w.hosts[host].pending_write_sizes.remove(hs);
+            w.hosts[host].pending_tenants.remove(hs);
+        }
+        let mut doomed_hs: Vec<u64> = w.hosts[host]
+            .hs_setup
+            .iter()
+            .filter(|(_, s)| w.hosts[host].netio.channel_owner(s.chan.id) == Some(tenant))
+            .map(|(&hs, _)| hs)
+            .collect();
+        doomed_hs.sort_unstable();
+        for hs in doomed_hs {
+            let setup = w.hosts[host].hs_setup.remove(&hs).expect("collected above");
+            w.hosts[host].hs_by_chan.remove(&setup.chan.id);
+            w.hosts[host].parked.remove(&setup.key);
+            w.hosts[host]
+                .netio
+                .destroy_channel(setup.chan.id, OwnerTag(0));
+            if let Nic::An1(nic) = &mut w.hosts[host].nic {
+                nic.bqi_table
+                    .free(setup.chan.our_bqi, unp_buffers::BqiTable::KERNEL_OWNER);
+            }
+            w.metrics.gauge_dec(Gauge::OpenChannels);
+            sync_demux_gauges(w);
+            reclaim(w, ReclaimKind::Channel, setup.chan.id.0);
+        }
+        let mut cids: Vec<u32> = w.hosts[host]
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.chan
+                    .as_ref()
+                    .and_then(|ci| w.hosts[host].netio.channel_owner(ci.id))
+                    == Some(tenant)
+            })
+            .map(|(&cid, _)| cid)
+            .collect();
+        cids.sort_unstable();
+        for cid in cids {
+            reclaim(w, ReclaimKind::Connection, cid);
+            app_exit(w, eng, host, cid, true);
+        }
+    }
+    // Stage 2: the registry's death notice — abort the tenant's pending
+    // handshakes, release its port reservations.
+    let (actions, report) = w.hosts[host].registry.owner_died(tenant);
+    for &port in &report.listeners {
+        reclaim(w, ReclaimKind::Port, port as u32);
+    }
+    for &(hs, _port) in &report.handshakes {
+        reclaim(w, ReclaimKind::Handshake, hs as u32);
+    }
+    apply_registry_actions(w, eng, host, actions);
+    // Stage 3: kernel backstop sweep. For a wedged tenant this is the
+    // only thing standing between its channels and a leak; the world-side
+    // records of any swept connection are dropped here too (their upcall
+    // target is gone, their timers must not fire into revoked caps), and
+    // their TCBs are handed to the registry, which resets each peer on
+    // the dead tenant's behalf — inheritance from the kernel sweep, not
+    // from the (wedged) library.
+    let swept = w.hosts[host].netio.reclaim_owner(tenant);
+    let mut orphan_tcbs: Vec<Tcb> = Vec::new();
+    for (id, _ring) in swept {
+        if let Some(cid) = w.hosts[host].chan_to_conn.remove(&id) {
+            if let Some(conn) = w.hosts[host].conns.remove(&cid) {
+                for tid in conn.timer_ids.values() {
+                    w.hosts[host].wheel.stop(*tid);
+                }
+                let key = (conn.tcb.local().1, conn.tcb.remote().0, conn.tcb.remote().1);
+                w.hosts[host].conn_index.remove(&key);
+                w.hosts[host].parked.remove(&key);
+                retire_conn_stats(w, host, &conn.tcb, None);
+                w.metrics.bump(Ctr::ConnectionsClosed);
+                orphan_tcbs.push(conn.tcb);
+            }
+        }
+        if let Some(hs) = w.hosts[host].hs_by_chan.remove(&id) {
+            if let Some(setup) = w.hosts[host].hs_setup.remove(&hs) {
+                w.hosts[host].parked.remove(&setup.key);
+            }
+        }
+        w.metrics.gauge_dec(Gauge::OpenChannels);
+        sync_demux_gauges(w);
+        reclaim(w, ReclaimKind::Channel, id.0);
+    }
+    if !orphan_tcbs.is_empty() {
+        let now = eng.now();
+        for _ in &orphan_tcbs {
+            w.metrics.bump(Ctr::ConnectionsInherited);
+        }
+        let actions = w.hosts[host]
+            .registry
+            .app_exit(tenant, orphan_tcbs, true, now);
+        apply_registry_actions(w, eng, host, actions);
+    }
+    let freed = match &mut w.hosts[host].nic {
+        Nic::An1(nic) => nic.bqi_table.reclaim_owner(tenant),
         Nic::Lance(_) => Vec::new(),
     };
     for slot in freed {

@@ -125,7 +125,9 @@ impl Capability {
     /// Constructs a capability from a raw value. Within the simulation
     /// capabilities are unforgeable because only the kernel mints them and
     /// validates every use; this constructor exists so adversarial tests
-    /// can *attempt* forgery and verify it fails.
+    /// can *attempt* forgery and verify it fails. Gated out of release
+    /// builds: a production library must have no way to mint one.
+    #[cfg(any(test, feature = "testing"))]
     pub fn forge_for_tests(raw: u64) -> Capability {
         Capability(raw)
     }
@@ -149,6 +151,8 @@ pub enum TxError {
     NoSendRight,
     /// The packet header does not match the bound template.
     Template(TemplateViolation),
+    /// The owning tenant exhausted its per-window transmit credit.
+    QuotaExceeded,
 }
 
 /// Where an incoming frame was delivered.
@@ -184,6 +188,73 @@ pub enum Delivery {
     },
     /// Dropped: the target ring or region was full.
     Dropped,
+    /// Dropped by the owning tenant's exhausted ring-slot quota: the
+    /// channel had room, the tenant's aggregate budget did not. Carries
+    /// the tenant so the caller can charge the right account.
+    QuotaDropped {
+        /// The tenant whose quota caused the drop.
+        tenant: OwnerTag,
+    },
+}
+
+/// Per-tenant resource budget. A zero in any field means that dimension
+/// is unlimited — the default, so single-tenant worlds and the existing
+/// tests behave exactly as before budgets existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantBudget {
+    /// Aggregate ring slots the tenant may occupy across *all* of its
+    /// channels. A delivery that would exceed it is dropped and charged
+    /// to the tenant (journaled as `quota_drop`), even when the target
+    /// channel's own ring still has room.
+    pub ring_slots: usize,
+    /// Frames the tenant may transmit per credit window (see
+    /// [`NetIoModule::set_tx_window`]); exhausted credit rejects with
+    /// [`TxError::QuotaExceeded`] until the window rolls over.
+    pub tx_credit: u64,
+    /// Channels the tenant may hold open at once;
+    /// [`NetIoModule::try_create_channel`] refuses past it.
+    pub max_channels: usize,
+}
+
+/// A tenant's live accounting: its budget plus the running counters the
+/// kernel charges against it. Reported via [`NetIoModule::tenant_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TenantAccount {
+    budget: TenantBudget,
+    /// Ring slots currently occupied across all the tenant's channels.
+    ring_occupancy: usize,
+    /// Transmit credit consumed in the current window.
+    tx_used: u64,
+    /// Channels currently open.
+    open_channels: usize,
+    /// Cumulative frames delivered into the tenant's rings.
+    rx_delivered: u64,
+    /// Cumulative frames the tenant transmitted (accepted).
+    tx_frames: u64,
+    /// Cumulative receive drops charged to exhausted ring quota.
+    quota_drops: u64,
+    /// Cumulative transmits rejected for exhausted credit.
+    tx_rejections: u64,
+}
+
+/// Snapshot of one tenant's budget accounting, for dashboards, the
+/// metrics registry's `TenantScope` sync, and the isolation oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Frames delivered into the tenant's rings.
+    pub rx_delivered: u64,
+    /// Frames the tenant transmitted (accepted by the kernel).
+    pub tx_frames: u64,
+    /// Receive drops charged to the tenant's exhausted ring quota.
+    pub quota_drops: u64,
+    /// Transmits rejected for exhausted per-window credit.
+    pub tx_rejections: u64,
+    /// Ring slots currently occupied across the tenant's channels.
+    pub ring_slots: usize,
+    /// The tenant's aggregate ring-slot quota (0 = unlimited).
+    pub ring_quota: usize,
+    /// Channels the tenant currently holds open.
+    pub open_channels: usize,
 }
 
 struct CapEntry {
@@ -343,11 +414,20 @@ pub struct NetIoModule {
     /// filters a keyed decision must still consult.
     residual: BTreeSet<u32>,
     demux_stats: DemuxStats,
-    /// Slow-consumer fault model: when set, every ring behaves as if it
-    /// had at most this many slots, so overload sheds packets at the
-    /// channel boundary (recovered by TCP retransmission) instead of
-    /// stalling the host. `None` restores the configured capacities.
+    /// Slow-consumer fault model, kept as a thin compat shim over the
+    /// per-tenant quota path: when set, every ring behaves as if it had
+    /// at most this many slots — a degenerate uniform per-ring clamp on
+    /// the same effective-capacity check tenant quotas use. `None`
+    /// restores the configured capacities.
     pressure_cap: Option<usize>,
+    /// Per-tenant budgets and accounting, keyed by raw tenant id.
+    /// `BTreeMap` so reports iterate deterministically. Absent tenants
+    /// are unbudgeted (the kernel, `TenantId(0)`, is never budgeted).
+    tenants: std::collections::BTreeMap<u64, TenantAccount>,
+    /// Transmit-credit window length in sim nanoseconds.
+    tx_window_ns: u64,
+    /// Which credit window [`NetIoModule::advance_tx_window`] last saw.
+    tx_epoch: u64,
     next_channel: u32,
     next_cap: u64,
     next_ring: u32,
@@ -380,6 +460,9 @@ impl NetIoModule {
             residual: BTreeSet::new(),
             demux_stats: DemuxStats::default(),
             pressure_cap: None,
+            tenants: std::collections::BTreeMap::new(),
+            tx_window_ns: 10_000_000, // 10 ms of sim time per credit window
+            tx_epoch: 0,
             next_channel: 0,
             next_cap: 0x6100_0000_0000_0000,
             next_ring: 1, // RingId(0) is the kernel default
@@ -405,6 +488,30 @@ impl NetIoModule {
         region_slots: usize,
         slot_size: usize,
     ) -> (ChannelId, Capability, Capability, RingId) {
+        self.try_create_channel(owner, spec, template, region_slots, slot_size)
+            .expect("tenant channel cap exceeded — use try_create_channel for budgeted tenants")
+    }
+
+    /// [`create_channel`](Self::create_channel) that enforces the owning
+    /// tenant's channel-count cap: returns `None` (and creates nothing)
+    /// when the tenant is at its limit. Budget-aware callers (the
+    /// registry's connection setup) use this so a tenant that hoards
+    /// channels is refused instead of panicking the kernel.
+    pub fn try_create_channel(
+        &mut self,
+        owner: OwnerTag,
+        spec: &DemuxSpec,
+        template: HeaderTemplate,
+        region_slots: usize,
+        slot_size: usize,
+    ) -> Option<(ChannelId, Capability, Capability, RingId)> {
+        if owner != OwnerTag(0) {
+            let acct = self.tenants.entry(owner.0).or_default();
+            if acct.budget.max_channels > 0 && acct.open_channels >= acct.budget.max_channels {
+                return None;
+            }
+            acct.open_channels += 1;
+        }
         let id = ChannelId(self.next_channel);
         self.next_channel += 1;
         let ring_id = RingId(self.next_ring);
@@ -455,7 +562,7 @@ impl NetIoModule {
         self.scan_order.push(id.0); // ascending mint order = scan order
         self.instr_fen.grow_to(self.next_channel as usize);
         self.ring_index.insert(ring_id, id);
-        (id, send, recv, ring_id)
+        Some((id, send, recv, ring_id))
     }
 
     /// Computes the incremental demux caches — the per-id instruction
@@ -575,6 +682,12 @@ impl NetIoModule {
             FlowSlot::Scan => {}
         }
         let ch = self.channels.remove(&id.0).expect("checked above");
+        // Release the tenant's budget: the channel slot and whatever ring
+        // occupancy its unconsumed frames still held.
+        if let Some(acct) = self.tenants.get_mut(&ch.owner.0) {
+            acct.open_channels = acct.open_channels.saturating_sub(1);
+            acct.ring_occupancy = acct.ring_occupancy.saturating_sub(ch.rx_ring.len());
+        }
         if ch.active {
             // Incremental cache maintenance: undo this channel's
             // contribution instead of rebuilding everything.
@@ -615,15 +728,72 @@ impl NetIoModule {
         doomed
     }
 
-    /// Sets (or clears) the slow-consumer ring pressure cap. See the
-    /// field docs; `Some(0)` sheds everything.
+    /// Sets (or clears) the slow-consumer ring pressure cap — the compat
+    /// shim the `FaultPlan::RingPressure` schedules drive. It rides the
+    /// same effective-capacity check as the per-tenant ring quotas, as a
+    /// uniform per-ring clamp; `Some(0)` sheds everything.
     pub fn set_pressure_cap(&mut self, cap: Option<usize>) {
         self.pressure_cap = cap;
+    }
+
+    /// Installs (or replaces) `tenant`'s resource budget. Zero fields are
+    /// unlimited; the kernel tenant (`TenantId(0)`) cannot be budgeted.
+    pub fn set_tenant_budget(&mut self, tenant: OwnerTag, budget: TenantBudget) {
+        if tenant == OwnerTag(0) {
+            return;
+        }
+        self.tenants.entry(tenant.0).or_default().budget = budget;
+    }
+
+    /// Sets the transmit-credit window length (sim nanoseconds). Credit
+    /// windows are epoch-aligned (`now / window`), so identical runs see
+    /// identical refill instants regardless of call timing.
+    pub fn set_tx_window(&mut self, window_ns: u64) {
+        assert!(window_ns > 0, "tx window must be positive");
+        self.tx_window_ns = window_ns;
+    }
+
+    /// Rolls transmit-credit windows forward to `now`: when the clock
+    /// crosses into a new epoch-aligned window, every tenant's used
+    /// credit resets. The world calls this before handing frames to
+    /// [`NetIoModule::transmit`]; the kernel itself keeps no clock.
+    pub fn advance_tx_window(&mut self, now: u64) {
+        let epoch = now / self.tx_window_ns;
+        if epoch != self.tx_epoch {
+            self.tx_epoch = epoch;
+            for acct in self.tenants.values_mut() {
+                acct.tx_used = 0;
+            }
+        }
+    }
+
+    /// One tenant's budget accounting, or `None` if the kernel has never
+    /// seen the tenant.
+    pub fn tenant_stats(&self, tenant: OwnerTag) -> Option<TenantStats> {
+        self.tenants.get(&tenant.0).map(|acct| TenantStats {
+            rx_delivered: acct.rx_delivered,
+            tx_frames: acct.tx_frames,
+            quota_drops: acct.quota_drops,
+            tx_rejections: acct.tx_rejections,
+            ring_slots: acct.ring_occupancy,
+            ring_quota: acct.budget.ring_slots,
+            open_channels: acct.open_channels,
+        })
+    }
+
+    /// Every tenant the kernel has accounting for, ascending by raw id.
+    pub fn tenant_ids(&self) -> Vec<OwnerTag> {
+        self.tenants.keys().map(|&t| OwnerTag(t)).collect()
     }
 
     /// Number of live channels.
     pub fn channel_count(&self) -> usize {
         self.channels.len()
+    }
+
+    /// The tenant that owns a live channel, or `None` if the id is dead.
+    pub fn channel_owner(&self, id: ChannelId) -> Option<OwnerTag> {
+        self.channels.get(&id.0).map(|ch| ch.owner)
     }
 
     /// Validates an outgoing frame against the template bound to `cap`.
@@ -654,8 +824,26 @@ impl NetIoModule {
             .get(&entry.channel.0)
             .ok_or(TxError::BadCapability)?;
         let channel = entry.channel;
+        // Per-window transmit credit, charged before the template runs:
+        // the credit bounds how often a tenant may invoke the transmit
+        // path at all, so a flood of *valid* frames and a storm of
+        // template violations are both rate-limited.
+        let owner = ch.owner;
+        if let Some(acct) = self.tenants.get_mut(&owner.0) {
+            if acct.budget.tx_credit > 0 {
+                if acct.tx_used >= acct.budget.tx_credit {
+                    acct.tx_rejections += 1;
+                    return Err(TxError::QuotaExceeded);
+                }
+                acct.tx_used += 1;
+            }
+        }
+        let ch = &self.channels[&channel.0];
         match ch.template.check(frame) {
             Ok(()) => {
+                if let Some(acct) = self.tenants.get_mut(&owner.0) {
+                    acct.tx_frames += 1;
+                }
                 unp_trace::emit(frame_id, || unp_trace::Event::TxTemplateCheck {
                     channel: channel.0,
                     ok: true,
@@ -805,6 +993,7 @@ impl NetIoModule {
             .expect("placed to live channel");
         // Same backpressure as the shared-region model: an oversize packet
         // doesn't fit a slot, a full ring means the region is exhausted.
+        // The pressure shim is a uniform clamp on the effective capacity.
         let capacity = pressure.map_or(ch.capacity, |c| ch.capacity.min(c));
         if frame.len() > ch.slot_size || ch.rx_ring.len() >= capacity {
             // A pressure-induced drop is one the uncapped ring would have
@@ -816,6 +1005,27 @@ impl NetIoModule {
             });
             return Delivery::Dropped;
         }
+        // Tenant ring quota: the channel has room, but the owner may have
+        // exhausted its aggregate slot budget across all its channels —
+        // then the drop is charged to the *tenant*, not the channel, and
+        // journaled distinctly so the causal trace can attribute it.
+        let owner = ch.owner;
+        if let Some(acct) = self.tenants.get_mut(&owner.0) {
+            if acct.budget.ring_slots > 0 && acct.ring_occupancy >= acct.budget.ring_slots {
+                acct.quota_drops += 1;
+                unp_trace::emit(Some(frame.id()), || unp_trace::Event::QuotaDrop {
+                    channel: id.0,
+                    tenant: owner.0,
+                });
+                return Delivery::QuotaDropped { tenant: owner };
+            }
+            acct.ring_occupancy += 1;
+            acct.rx_delivered += 1;
+        }
+        let ch = self
+            .channels
+            .get_mut(&id.0)
+            .expect("placed to live channel");
         ch.rx_ring.push_back(frame.clone());
         ch.rx_delivered += 1;
         match path {
@@ -870,6 +1080,11 @@ impl NetIoModule {
             .get_mut(&channel.0)
             .ok_or(TxError::BadCapability)?;
         let frames: Vec<Frame> = ch.rx_ring.drain(..).collect();
+        // Consuming returns the slots to the tenant's ring budget.
+        let owner = ch.owner;
+        if let Some(acct) = self.tenants.get_mut(&owner.0) {
+            acct.ring_occupancy = acct.ring_occupancy.saturating_sub(frames.len());
+        }
         unp_trace::emit(None, || unp_trace::Event::WakeupBatch {
             channel: channel.0,
             frames: frames.len() as u32,
@@ -1207,6 +1422,130 @@ mod tests {
             Delivery::Channel { .. }
         ));
         assert_eq!(m.deliver_software(&frame), Delivery::Dropped);
+    }
+
+    #[test]
+    fn tenant_ring_quota_drops_with_attribution() {
+        let mut m = NetIoModule::new();
+        let (id, _, recv, _) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        m.activate(id);
+        m.set_tenant_budget(
+            OwnerTag(1),
+            TenantBudget {
+                ring_slots: 3,
+                ..TenantBudget::default()
+            },
+        );
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        for _ in 0..3 {
+            assert!(matches!(
+                m.deliver_software(&frame),
+                Delivery::Channel { .. }
+            ));
+        }
+        // Ring has 8 slots free, but the tenant's quota is exhausted — and
+        // the drop is attributed to the tenant, not the ring.
+        assert_eq!(
+            m.deliver_software(&frame),
+            Delivery::QuotaDropped {
+                tenant: OwnerTag(1)
+            }
+        );
+        let s = m.tenant_stats(OwnerTag(1)).unwrap();
+        assert_eq!((s.quota_drops, s.ring_slots, s.rx_delivered), (1, 3, 3));
+        // Consuming releases the occupancy and delivery resumes.
+        assert_eq!(m.consume_batch(recv).unwrap().len(), 3);
+        assert!(matches!(
+            m.deliver_software(&frame),
+            Delivery::Channel { .. }
+        ));
+        assert_eq!(m.tenant_stats(OwnerTag(1)).unwrap().ring_slots, 1);
+    }
+
+    #[test]
+    fn tenant_tx_credit_refills_on_epoch_boundary() {
+        let mut m = NetIoModule::new();
+        let (_, send, _, _) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        m.set_tenant_budget(
+            OwnerTag(1),
+            TenantBudget {
+                tx_credit: 2,
+                ..TenantBudget::default()
+            },
+        );
+        m.set_tx_window(1_000_000);
+        let good = tcp_frame(US, THEM, 80, 5000);
+        assert!(m.transmit(send, &good).is_ok());
+        assert!(m.transmit(send, &good).is_ok());
+        assert_eq!(m.transmit(send, &good).err(), Some(TxError::QuotaExceeded));
+        assert_eq!(m.tenant_stats(OwnerTag(1)).unwrap().tx_rejections, 1);
+        // Same epoch: still dry.
+        m.advance_tx_window(999_999);
+        assert_eq!(m.transmit(send, &good).err(), Some(TxError::QuotaExceeded));
+        // Next epoch-aligned window: credit refills.
+        m.advance_tx_window(1_000_000);
+        assert!(m.transmit(send, &good).is_ok());
+        assert_eq!(m.tenant_stats(OwnerTag(1)).unwrap().tx_frames, 3);
+    }
+
+    #[test]
+    fn tenant_channel_cap_bounds_creation_and_destroy_releases() {
+        let mut m = NetIoModule::new();
+        m.set_tenant_budget(
+            OwnerTag(1),
+            TenantBudget {
+                max_channels: 1,
+                ..TenantBudget::default()
+            },
+        );
+        let (id, ..) = m
+            .try_create_channel(OwnerTag(1), &spec(), template(), 8, 2048)
+            .expect("first channel within cap");
+        assert!(
+            m.try_create_channel(OwnerTag(1), &wildcard_spec(81), template(), 8, 2048)
+                .is_none(),
+            "second channel exceeds cap"
+        );
+        // Other tenants are not affected by tenant 1's cap.
+        assert!(m
+            .try_create_channel(OwnerTag(2), &wildcard_spec(82), template(), 8, 2048)
+            .is_some());
+        assert!(m.destroy_channel(id, OwnerTag(1)));
+        assert!(m
+            .try_create_channel(OwnerTag(1), &wildcard_spec(83), template(), 8, 2048)
+            .is_some());
+    }
+
+    #[test]
+    fn destroying_a_channel_releases_its_ring_occupancy() {
+        let mut m = NetIoModule::new();
+        let (id, ..) = m.create_channel(OwnerTag(1), &spec(), template(), 8, 2048);
+        m.activate(id);
+        let frame = tcp_frame(THEM, US, 5000, 80);
+        for _ in 0..2 {
+            assert!(matches!(
+                m.deliver_software(&frame),
+                Delivery::Channel { .. }
+            ));
+        }
+        assert_eq!(m.tenant_stats(OwnerTag(1)).unwrap().ring_slots, 2);
+        assert!(m.destroy_channel(id, OwnerTag(1)));
+        let s = m.tenant_stats(OwnerTag(1)).unwrap();
+        assert_eq!((s.ring_slots, s.open_channels), (0, 0));
+    }
+
+    #[test]
+    fn kernel_tenant_cannot_be_budgeted() {
+        let mut m = NetIoModule::new();
+        m.set_tenant_budget(
+            OwnerTag(0),
+            TenantBudget {
+                ring_slots: 1,
+                tx_credit: 1,
+                max_channels: 1,
+            },
+        );
+        assert!(m.tenant_stats(OwnerTag(0)).is_none(), "no account minted");
     }
 
     #[test]

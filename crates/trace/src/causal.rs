@@ -92,6 +92,16 @@ pub enum Loss {
         /// Whether an injected pressure clamp caused the drop.
         pressure: bool,
     },
+    /// Dropped at ring placement because the owning tenant had exhausted
+    /// its aggregate ring-slot quota — the channel itself still had room,
+    /// so the root cause is the tenant overrunning its budget, not load
+    /// on this channel.
+    QuotaExceeded {
+        /// The channel the frame was bound for.
+        channel: u32,
+        /// The tenant whose exhausted quota caused the drop.
+        tenant: u64,
+    },
     /// Dropped at NIC receive staging overflow.
     NicOverflow,
 }
@@ -105,6 +115,7 @@ impl Loss {
             Loss::Corrupt { .. } => "corrupt",
             Loss::RingOverflow { pressure: true, .. } => "ring_pressure",
             Loss::RingOverflow { .. } => "ring_overflow",
+            Loss::QuotaExceeded { .. } => "quota_exceeded",
             Loss::NicOverflow => "nic_overflow",
         }
     }
@@ -123,6 +134,9 @@ impl Loss {
                 } else {
                     format!("ring overflow on ch{channel}")
                 }
+            }
+            Loss::QuotaExceeded { channel, tenant } => {
+                format!("ring quota exhausted by tenant {tenant} (drop on ch{channel})")
             }
             Loss::NicOverflow => "NIC staging overflow".into(),
         }
@@ -448,6 +462,7 @@ impl CausalGraph {
         let mut journeys: Vec<Journey> = Vec::new();
         let mut by_frame: HashMap<u64, usize> = HashMap::new();
         let mut ring_pressure: HashMap<u64, Vec<bool>> = HashMap::new();
+        let mut quota_tenant: HashMap<u64, u64> = HashMap::new();
         let mut raw_rexmits: Vec<RawRexmit> = Vec::new();
         let mut crashes: Vec<(Nanos, u16)> = Vec::new();
 
@@ -512,6 +527,10 @@ impl CausalGraph {
                     let Some(f) = rec.frame else { continue };
                     ring_pressure.entry(f).or_default().push(*pressure);
                 }
+                Event::QuotaDrop { tenant, .. } => {
+                    let Some(f) = rec.frame else { continue };
+                    quota_tenant.entry(f).or_insert(*tenant);
+                }
                 Event::TcpRexmit {
                     local_port,
                     remote_port,
@@ -537,7 +556,11 @@ impl CausalGraph {
         }
 
         for j in journeys.iter_mut() {
-            j.fate = fate_of(j, ring_pressure.get(&j.frame));
+            j.fate = fate_of(
+                j,
+                ring_pressure.get(&j.frame),
+                quota_tenant.get(&j.frame).copied(),
+            );
         }
 
         let rexmits = raw_rexmits
@@ -958,7 +981,11 @@ pub fn render_chrome_trace(records: &[Record]) -> String {
 
 /// Computes a journey's cross-host verdict from its fault records and
 /// receive-side outcomes.
-fn fate_of(j: &Journey, ring_pressure: Option<&Vec<bool>>) -> JourneyFate {
+fn fate_of(
+    j: &Journey,
+    ring_pressure: Option<&Vec<bool>>,
+    quota_tenant: Option<u64>,
+) -> JourneyFate {
     for &(_, kind, from, to) in &j.faults {
         match kind {
             FaultKind::Outage => return JourneyFate::Lost(Loss::Outage { from, to }),
@@ -985,6 +1012,14 @@ fn fate_of(j: &Journey, ring_pressure: Option<&Vec<bool>>) -> JourneyFate {
                 return JourneyFate::Lost(Loss::Corrupt { from, to });
             }
             PathOutcome::RingDropped => {
+                // A quota record outranks the generic ring verdict: the
+                // channel had room, the tenant's budget did not.
+                if let Some(tenant) = quota_tenant {
+                    return JourneyFate::Lost(Loss::QuotaExceeded {
+                        channel: tr.channel.unwrap_or(0),
+                        tenant,
+                    });
+                }
                 // No copy arrived (checked above), so the first
                 // ring-dropped copy pairs with the first recorded flag.
                 let pressure = ring_pressure

@@ -215,6 +215,13 @@ pub enum Event {
     /// plan's slow-consumer window clamped the ring below its real
     /// capacity — the proximate cause is injected pressure, not load.
     RingDrop { channel: u32, pressure: bool },
+    /// A frame was dropped at ring placement because the owning tenant's
+    /// aggregate ring-slot quota was exhausted (the channel itself still
+    /// had room). Distinct from [`Event::RingDrop`] so quota enforcement
+    /// is attributable to the tenant that overran its budget, and so
+    /// clean runs — where no tenant ever exceeds its share — emit a
+    /// byte-identical journal to the pre-quota stack.
+    QuotaDrop { channel: u32, tenant: u64 },
     /// A library wakeup consumed a batch of frames from a channel ring.
     WakeupBatch { channel: u32, frames: u32 },
     /// The protocol library processed (rx) or built (tx) one TCP segment.
@@ -282,6 +289,7 @@ impl Event {
             Event::DemuxClassify { .. } => "demux_classify",
             Event::RingEnqueue { .. } => "ring_enqueue",
             Event::RingDrop { .. } => "ring_drop",
+            Event::QuotaDrop { .. } => "quota_drop",
             Event::WakeupBatch { .. } => "wakeup_batch",
             Event::TcpSegment { .. } => "tcp_segment",
             Event::RttSample { .. } => "rtt_sample",
@@ -314,6 +322,7 @@ impl Event {
                 signal,
             } => format!("ch={channel} depth={depth} signal={signal}"),
             Event::RingDrop { channel, pressure } => format!("ch={channel} pressure={pressure}"),
+            Event::QuotaDrop { channel, tenant } => format!("ch={channel} tenant={tenant}"),
             Event::WakeupBatch { channel, frames } => format!("ch={channel} frames={frames}"),
             Event::TcpSegment {
                 dir,

@@ -50,6 +50,9 @@ metric_enum! {
         ChFlowHits => "ch_flow_hits",
         /// Channel deliveries decided by the wildcard 3-tuple listen table.
         ChListenHits => "ch_listen_hits",
+        /// Frames dropped because the owning tenant's aggregate ring-slot
+        /// quota was exhausted (the channel itself still had room).
+        ChQuotaDrops => "ch_quota_drops",
         /// Frames dropped because a channel ring was full or slots too small.
         ChRingDrops => "ch_ring_drops",
         /// Channel deliveries decided by the linear filter scan.
@@ -121,6 +124,9 @@ metric_enum! {
         TcpRexmitSegs => "tcp_rexmit_segs",
         /// RTT estimator samples taken across all connections.
         TcpRttSamples => "tcp_rtt_samples",
+        /// Transmissions rejected because the tenant's per-window transmit
+        /// credit was exhausted.
+        TxQuotaRejections => "tx_quota_rejections",
         /// Transmissions rejected by the template check.
         TxTemplateRejections => "tx_template_rejections",
         /// UDP datagrams that failed validation.
@@ -392,6 +398,36 @@ pub struct ChannelScope {
     pub scan_fallbacks: u64,
 }
 
+/// Per-tenant resource roll-up, keyed by `(host, raw tenant id)`: the
+/// kernel's per-tenant budget accounting mirrored into the registry so
+/// dashboards and the isolation oracle see one report. Cumulative
+/// counters plus the instantaneous budget levels at the last sync.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantScope {
+    /// Frames delivered into this tenant's rings.
+    pub rx_delivered: u64,
+    /// Frames this tenant transmitted (accepted by the kernel).
+    pub tx_frames: u64,
+    /// Receive drops charged to this tenant's exhausted ring quota.
+    pub quota_drops: u64,
+    /// Transmits rejected for exhausted per-window credit.
+    pub tx_rejections: u64,
+    /// Ring slots the tenant currently occupies across all its channels.
+    pub ring_slots: u64,
+    /// The tenant's aggregate ring-slot quota (0 = unlimited).
+    pub ring_quota: u64,
+    /// Channels the tenant currently holds open.
+    pub open_channels: u64,
+}
+
+impl TenantScope {
+    /// The tenant's share of its own ring quota, 0.0..=1.0, or `None`
+    /// when the tenant is unbudgeted.
+    pub fn ring_share(&self) -> Option<f64> {
+        (self.ring_quota > 0).then(|| self.ring_slots as f64 / self.ring_quota as f64)
+    }
+}
+
 /// The registry: typed counters/gauges/histograms plus scopes. Owned by
 /// the world (one per simulation), not global — parallel test worlds
 /// can't bleed into each other.
@@ -403,6 +439,7 @@ pub struct Metrics {
     conns: BTreeMap<ConnKey, ConnScope>,
     channels: BTreeMap<(u16, u32), ChannelScope>,
     links: BTreeMap<(u16, u16), LinkScope>,
+    tenants: BTreeMap<(u16, u64), TenantScope>,
 }
 
 impl Default for Metrics {
@@ -421,6 +458,7 @@ impl Metrics {
             conns: BTreeMap::new(),
             channels: BTreeMap::new(),
             links: BTreeMap::new(),
+            tenants: BTreeMap::new(),
         }
     }
 
@@ -554,6 +592,17 @@ impl Metrics {
         self.links.iter()
     }
 
+    /// The scope for tenant `tenant` on `host`, created empty on first
+    /// touch.
+    pub fn tenant(&mut self, host: u16, tenant: u64) -> &mut TenantScope {
+        self.tenants.entry((host, tenant)).or_default()
+    }
+
+    /// Iterates recorded tenant scopes in `(host, tenant)` order.
+    pub fn tenants(&self) -> impl Iterator<Item = (&(u16, u64), &TenantScope)> + '_ {
+        self.tenants.iter()
+    }
+
     // ---- export ----
 
     /// Serializes the registry as JSON (hand-rolled: the workspace is
@@ -630,6 +679,20 @@ impl Metrics {
                 l.reorders,
                 l.corrupts,
                 l.outage_drops,
+            ));
+        }
+        out.push_str("\n  ],\n  \"tenants\": [");
+        for (i, ((host, tenant), t)) in self.tenants().enumerate() {
+            out.push_str(&format!(
+                "{}\n    {{\"host\": {host}, \"tenant\": {tenant}, \"rx_delivered\": {}, \"tx_frames\": {}, \"quota_drops\": {}, \"tx_rejections\": {}, \"ring_slots\": {}, \"ring_quota\": {}, \"open_channels\": {}}}",
+                if i > 0 { "," } else { "" },
+                t.rx_delivered,
+                t.tx_frames,
+                t.quota_drops,
+                t.tx_rejections,
+                t.ring_slots,
+                t.ring_quota,
+                t.open_channels,
             ));
         }
         out.push_str("\n  ]\n}\n");
@@ -811,6 +874,12 @@ impl Window {
     /// Retransmitted segments per second of sim time.
     pub fn rexmit_per_sec(&self) -> f64 {
         self.per_sec(Ctr::TcpRexmitSegs)
+    }
+
+    /// Tenant-quota receive drops per second of sim time, across all
+    /// tenants (per-tenant attribution lives in the [`TenantScope`]s).
+    pub fn quota_drops_per_sec(&self) -> f64 {
+        self.per_sec(Ctr::ChQuotaDrops)
     }
 
     /// Retransmitted segments as a share of frames sent in the window

@@ -327,7 +327,11 @@ impl Profile {
                         ring.entry((h, *channel)).or_default().push_back(idx);
                     }
                 }
-                Event::RingDrop { .. } => {
+                // A tenant-quota drop dies at the same stage as a ring
+                // overflow; the causal layer tells them apart by the
+                // quota record's tenant id, so the profiler's stage
+                // taxonomy stays at seven outcomes.
+                Event::RingDrop { .. } | Event::QuotaDrop { .. } => {
                     let Some(f) = rec.frame else { continue };
                     let Some(idx) = find_open(&open, &traces, f, Stage::Ring) else {
                         continue;

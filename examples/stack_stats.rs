@@ -18,9 +18,13 @@
 
 use std::rc::Rc;
 
+use unp::buffers::OwnerTag;
 use unp::core::app::{BulkSender, SinkApp, TransferStats};
 use unp::core::faults::FaultPlan;
-use unp::core::world::{build_two_hosts, connect, install_faults, listen, Network, OrgKind};
+use unp::core::world::{
+    build_two_hosts, connect, install_faults, listen_as, sync_tenant_scopes, Network, OrgKind,
+};
+use unp::kernel::TenantBudget;
 use unp::sim::fmt_nanos;
 use unp::tcp::TcpConfig;
 use unp::trace::{Ctr, Gauge, Hist};
@@ -41,9 +45,12 @@ fn main() {
     for &(port, total, user_packet) in &transfers {
         let st = TransferStats::new_shared();
         let st2 = Rc::clone(&st);
-        listen(
+        // Each server listener runs as its own tenant (1..=3), so the
+        // per-tenant quota/ring columns below have distinct rows.
+        listen_as(
             &mut world,
             1,
+            OwnerTag(u64::from(port) - 79),
             port,
             TcpConfig::bulk_transfer(),
             Box::new(move || Box::new(SinkApp::new(Rc::clone(&st2)))),
@@ -64,6 +71,20 @@ fn main() {
     // corruption, and reordering. TCP absorbs all of it; the counters
     // below show what was injected and recovered from.
     install_faults(&mut world, &mut engine, FaultPlan::lossy(7, 0.01));
+
+    // Budget the server-side tenants so the ring-share column is live:
+    // generous for the big transfer, tight for the small one (whose
+    // occupancy spikes may actually hit the quota).
+    for (tenant, ring_slots) in [(1u64, 256usize), (2, 64), (3, 40)] {
+        world.hosts[1].netio.set_tenant_budget(
+            OwnerTag(tenant),
+            TenantBudget {
+                ring_slots,
+                tx_credit: 0,
+                max_channels: 0,
+            },
+        );
+    }
 
     // Step the world in slices, printing the deltas of each window:
     // packet and retransmit rates plus the three demux fast-path hit
@@ -86,6 +107,7 @@ fn main() {
     let slice = 250_000_000; // 250 ms of simulated time
     let mut deadline = slice;
     let mut prev = world.metrics.snapshot(engine.now());
+    let mut prev_qdrops: std::collections::BTreeMap<(u16, u64), u64> = Default::default();
     loop {
         engine.run_until(&mut world, deadline);
         let snap = world.metrics.snapshot(engine.now());
@@ -104,6 +126,25 @@ fn main() {
             w.hist_mean(Hist::WakeupBatchFrames)
                 .map_or("-".into(), |b| format!("{b:.2}")),
         );
+        // Per-tenant sub-line: quota-drop rate over the window and the
+        // tenant's current share of its own ring quota.
+        sync_tenant_scopes(&mut world);
+        let secs = slice as f64 / 1e9;
+        let mut cells = Vec::new();
+        for (&(host, tenant), t) in world.metrics.tenants() {
+            let before = prev_qdrops
+                .insert((host, tenant), t.quota_drops)
+                .unwrap_or(0);
+            cells.push(format!(
+                "h{host}t{tenant} {:>5.1} qd/s ring {:>4}",
+                (t.quota_drops - before) as f64 / secs,
+                t.ring_share()
+                    .map_or("-".into(), |r| format!("{:.0}%", r * 100.0)),
+            ));
+        }
+        if !cells.is_empty() {
+            println!("{:<10} {}", "  tenants", cells.join("  "));
+        }
         prev = snap;
         let done = stats
             .iter()
@@ -165,6 +206,35 @@ fn main() {
         println!(
             "h{host} chan {id:<3} delivered {:>6}  batched {:>6}  flow hits {:>6}  scan fallbacks {:>4}",
             ch.delivered, ch.batched, ch.flow_hits, ch.scan_fallbacks
+        );
+    }
+    println!();
+
+    // Per-tenant accounting: what each tenant received, sent, and had
+    // charged against its quotas.
+    sync_tenant_scopes(&mut world);
+    println!("-- per-tenant stats --");
+    println!(
+        "{:<10} {:>9} {:>9} {:>7} {:>7} {:>9} {:>6}",
+        "tenant", "rx_frames", "tx_frames", "qdrops", "tx_rej", "ring", "chans"
+    );
+    for (&(host, tenant), t) in world.metrics.tenants() {
+        println!(
+            "h{host} t{tenant:<6} {:>9} {:>9} {:>7} {:>7} {:>9} {:>6}",
+            t.rx_delivered,
+            t.tx_frames,
+            t.quota_drops,
+            t.tx_rejections,
+            format!(
+                "{}/{}",
+                t.ring_slots,
+                if t.ring_quota == 0 {
+                    "inf".into()
+                } else {
+                    t.ring_quota.to_string()
+                }
+            ),
+            t.open_channels,
         );
     }
     println!();

@@ -18,9 +18,13 @@
 
 use std::rc::Rc;
 
+use unp::buffers::OwnerTag;
 use unp::core::app::{BulkSender, SinkApp, TransferStats};
 use unp::core::faults::FaultPlan;
-use unp::core::world::{build_two_hosts, connect, install_faults, listen, Network, OrgKind};
+use unp::core::world::{
+    build_two_hosts, connect, install_faults, listen_as, sync_tenant_scopes, Network, OrgKind,
+};
+use unp::kernel::TenantBudget;
 use unp::sim::fmt_nanos;
 use unp::tcp::TcpConfig;
 use unp::trace::{Gauge, Hist, PathOutcome, Profile, Stage};
@@ -46,9 +50,12 @@ fn main() {
     for &(port, total, user_packet) in &transfers {
         let st = TransferStats::new_shared();
         let st2 = Rc::clone(&st);
-        listen(
+        // One server-side tenant per listener, so the per-tenant columns
+        // below show three distinct budgeted rows.
+        listen_as(
             &mut world,
             1,
+            OwnerTag(u64::from(port) - 79),
             port,
             TcpConfig::bulk_transfer(),
             Box::new(move || Box::new(SinkApp::new(Rc::clone(&st2)))),
@@ -68,6 +75,19 @@ fn main() {
     // 1% seeded loss (with half-rate duplication, corruption and
     // reordering) so the retransmit columns have something to show.
     install_faults(&mut world, &mut engine, FaultPlan::lossy(7, 0.01));
+
+    // Ring-slot budgets for the server-side tenants, so the quota-drop
+    // and ring-share columns are live.
+    for (tenant, ring_slots) in [(1u64, 256usize), (2, 64), (3, 40)] {
+        world.hosts[1].netio.set_tenant_budget(
+            OwnerTag(tenant),
+            TenantBudget {
+                ring_slots,
+                tx_credit: 0,
+                max_channels: 0,
+            },
+        );
+    }
 
     let header = format!(
         "{:<9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
@@ -90,13 +110,14 @@ fn main() {
     let slice = 100_000_000; // 100 ms of simulated time per window
     let mut deadline = slice;
     let mut prev = world.metrics.snapshot(engine.now());
+    let mut prev_qdrops: std::collections::BTreeMap<(u16, u64), u64> = Default::default();
     let mut rows: Vec<String> = Vec::new();
     loop {
         engine.run_until(&mut world, deadline);
         let snap = world.metrics.snapshot(engine.now());
         let w = snap.window_since(&prev);
         let (flow_tbl, listen_tbl) = w.demux_table_sizes();
-        let row = format!(
+        let mut row = format!(
             "{:<9} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
             fmt_nanos(snap.time),
             w.rx_pps(),
@@ -115,6 +136,25 @@ fn main() {
                 .map_or("-".into(), |b| format!("{b:.2}")),
             snap.gauge(Gauge::ActiveConnections),
         );
+        // Per-tenant sub-line: windowed quota-drop rate and current
+        // share of each budgeted tenant's ring quota.
+        sync_tenant_scopes(&mut world);
+        let secs = slice as f64 / 1e9;
+        let mut cells = Vec::new();
+        for (&(host, tenant), t) in world.metrics.tenants() {
+            let before = prev_qdrops
+                .insert((host, tenant), t.quota_drops)
+                .unwrap_or(0);
+            cells.push(format!(
+                "h{host}t{tenant} {:>5.1} qd/s ring {:>4}",
+                (t.quota_drops - before) as f64 / secs,
+                t.ring_share()
+                    .map_or("-".into(), |r| format!("{:.0}%", r * 100.0)),
+            ));
+        }
+        if !cells.is_empty() {
+            row.push_str(&format!("\n{:<9} {}", "  tenants", cells.join("  ")));
+        }
         if redraw {
             // Home the cursor and repaint the whole table each slice, the
             // way `top` does; the scrollback stays clean.
@@ -146,6 +186,21 @@ fn main() {
             s.throughput_bps().unwrap_or(0.0) / 1e6
         );
         assert_eq!(s.bytes_received, *total, "transfer on :{port} incomplete");
+    }
+    println!();
+
+    sync_tenant_scopes(&mut world);
+    println!("-- per-tenant stats --");
+    for (&(host, tenant), t) in world.metrics.tenants() {
+        println!(
+            "h{host} t{tenant}: rx {:>5}  tx {:>5}  quota drops {:>4}  tx rejections {:>4}  ring {}/{}",
+            t.rx_delivered,
+            t.tx_frames,
+            t.quota_drops,
+            t.tx_rejections,
+            t.ring_slots,
+            if t.ring_quota == 0 { "inf".into() } else { t.ring_quota.to_string() },
+        );
     }
     println!();
 

@@ -188,3 +188,128 @@ fn channel_destruction_requires_ownership() {
     assert!(!m.destroy_channel(id, OwnerTag(99)), "stranger refused");
     assert!(m.destroy_channel(id, OwnerTag(1)), "owner allowed");
 }
+
+/// A channel the attacker legitimately holds, under its own tenant.
+fn attacker_channel(
+    m: &mut NetIoModule,
+) -> (
+    unp::kernel::ChannelId,
+    unp::kernel::Capability,
+    unp::kernel::Capability,
+) {
+    let spec = DemuxSpec {
+        link_header_len: 14,
+        protocol: IpProtocol::Tcp,
+        local_ip: VICTIM_IP,
+        local_port: 8080,
+        remote_ip: Some(PEER_IP),
+        remote_port: Some(6000),
+    };
+    let template = HeaderTemplate {
+        link_header_len: 14,
+        src_mac: None,
+        dst_mac: None,
+        ethertype: EtherType::Ipv4,
+        protocol: IpProtocol::Tcp,
+        src_ip: VICTIM_IP,
+        dst_ip: PEER_IP,
+        src_port: 8080,
+        dst_port: Some(6000),
+        bqi: None,
+    };
+    let (id, send, recv, _ring) = m.create_channel(OwnerTag(2), &spec, template, 8, 2048);
+    m.activate(id);
+    (id, send, recv)
+}
+
+#[test]
+fn revoked_capabilities_cannot_be_replayed() {
+    let mut m = NetIoModule::new();
+    let spec = DemuxSpec {
+        link_header_len: 14,
+        protocol: IpProtocol::Tcp,
+        local_ip: VICTIM_IP,
+        local_port: 80,
+        remote_ip: Some(PEER_IP),
+        remote_port: Some(5000),
+    };
+    let template = HeaderTemplate {
+        link_header_len: 14,
+        src_mac: None,
+        dst_mac: None,
+        ethertype: EtherType::Ipv4,
+        protocol: IpProtocol::Tcp,
+        src_ip: VICTIM_IP,
+        dst_ip: PEER_IP,
+        src_port: 80,
+        dst_port: Some(5000),
+        bqi: None,
+    };
+    let (id, send, recv, _) = m.create_channel(OwnerTag(1), &spec, template.clone(), 8, 2048);
+    m.activate(id);
+    let legit = tcp_frame(VICTIM_IP, PEER_IP, 80, 5000, b"x");
+    assert!(m.transmit(send, &legit).is_ok());
+
+    // The channel is torn down: every outstanding capability is revoked.
+    assert!(m.destroy_channel(id, OwnerTag(1)));
+    assert_eq!(m.transmit(send, &legit).err(), Some(TxError::BadCapability));
+    assert_eq!(m.consume(recv).err(), Some(TxError::BadCapability));
+
+    // Re-creating the same binding mints *fresh* capabilities — the
+    // replayed ones stay dead (no capability-value reuse across
+    // generations of the same channel).
+    let spec2 = DemuxSpec {
+        link_header_len: 14,
+        protocol: IpProtocol::Tcp,
+        local_ip: VICTIM_IP,
+        local_port: 80,
+        remote_ip: Some(PEER_IP),
+        remote_port: Some(5000),
+    };
+    let (id2, send2, _recv2, _) = m.create_channel(OwnerTag(1), &spec2, template, 8, 2048);
+    m.activate(id2);
+    assert_ne!(send, send2);
+    assert_eq!(m.transmit(send, &legit).err(), Some(TxError::BadCapability));
+    assert!(m.transmit(send2, &legit).is_ok());
+}
+
+#[test]
+fn cross_tenant_capabilities_do_not_reach_victim_traffic() {
+    let mut m = NetIoModule::new();
+    let (victim_id, _victim_send) = victim_channel(&mut m);
+    let (attacker_id, att_send, att_recv) = attacker_channel(&mut m);
+
+    // A frame for the victim's connection lands in the victim's ring.
+    let secret = tcp_frame(PEER_IP, VICTIM_IP, 5000, 80, b"victim secret");
+    assert!(matches!(
+        m.deliver_software(&secret),
+        Delivery::Channel { id, .. } if id == victim_id
+    ));
+
+    // The attacker holds a perfectly valid capability — for its OWN
+    // channel. It cannot consume the victim's frame with it: the
+    // capability names the attacker's ring, which is empty.
+    assert!(m.consume(att_recv).expect("own ring readable").is_empty());
+    // The victim's frame is still exactly where it was delivered.
+    assert_eq!(m.channel_stats(victim_id).map(|s| s.delivered), Some(1));
+
+    // Nor can the attacker's send capability impersonate the victim:
+    // the per-channel template pins the 4-tuple.
+    let impersonation = tcp_frame(VICTIM_IP, PEER_IP, 80, 5000, b"evil");
+    assert!(matches!(
+        m.transmit(att_send, &impersonation),
+        Err(TxError::Template(_))
+    ));
+
+    // And the attacker cannot destroy the victim's channel, with or
+    // without a capability in hand — destruction is owner-checked.
+    assert!(!m.destroy_channel(victim_id, OwnerTag(2)));
+    assert!(
+        m.channel_stats(victim_id).is_some(),
+        "victim channel survives"
+    );
+    assert!(
+        m.destroy_channel(attacker_id, OwnerTag(2)),
+        "own channel ok"
+    );
+}
