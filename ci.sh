@@ -100,4 +100,17 @@ cargo run -q -p unp-bench --release --offline --bin repro-tables -- --isolation-
 grep -q '"quota_drops_misattributed": 0' BENCH_isolation.json \
   || { echo "BENCH_isolation.json reports misattributed quota drops"; exit 1; }
 
+# Conformance-monitor gate: the streaming checkers run over the golden
+# workloads (lossy causal replay, clean transfer, live attach) and must
+# flag nothing — every predicate is one-sided, no stricter than the
+# stack's own. Soundness the other way: the seeded mutation harness must
+# catch all 8 bug classes, the monitor's overhead on the live workload
+# must stay under the bound, and the monitored 8→10^6-channel sweep
+# proves O(touched-state) memory. Writes BENCH_monitor.json (folded into
+# BENCH_summary.json).
+echo "== conformance monitor gate (golden zero-violation + mutation coverage) =="
+cargo run -q -p unp-bench --release --offline --bin repro-tables -- --monitor-gate
+grep -q '"golden_violations": 0' BENCH_monitor.json \
+  || { echo "BENCH_monitor.json reports violations on golden workloads"; exit 1; }
+
 echo "CI gate passed."

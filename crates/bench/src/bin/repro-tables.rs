@@ -47,12 +47,23 @@
 //! #   tenants + one byzantine tenant, baseline vs hostile run of the
 //! #   same seed), assert the isolation envelope, and write
 //! #   BENCH_isolation.json; skips the tables
+//! cargo run -p unp-bench --release --bin repro-tables -- --monitor
+//! #   run the streaming conformance monitor over the golden workloads,
+//! #   the mutation harness, the overhead timing, and the monitored
+//! #   scale sweep; print the report plus a seeded postmortem demo and
+//! #   write BENCH_monitor.json; skips the tables
+//! cargo run -p unp-bench --release --bin repro-tables -- --monitor-gate
+//! #   CI gate: same measurements, assert zero violations on conformant
+//! #   runs, non-vacuous checkers, 8/8 mutation classes caught, and the
+//! #   overhead bound; write BENCH_monitor.json; skips the tables
 //! cargo run -p unp-bench --release --bin repro-tables -- --summary
 //! #   fold the headline scalar of every committed BENCH_*.json into
 //! #   BENCH_summary.json (also written by the artifact modes above)
 //! ```
 
-use unp_bench::{causal, demux, isolation, profile, scale, summary, tables, timings, trace};
+use unp_bench::{
+    causal, demux, isolation, monitor, profile, scale, summary, tables, timings, trace,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +82,8 @@ fn main() {
     let want_explain_baseline = args.iter().any(|a| a == "--explain-baseline");
     let want_summary = args.iter().any(|a| a == "--summary");
     let want_isolation_gate = args.iter().any(|a| a == "--isolation-gate");
+    let want_monitor = args.iter().any(|a| a == "--monitor");
+    let want_monitor_gate = args.iter().any(|a| a == "--monitor-gate");
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     let rounds = if quick { 10 } else { 30 };
 
@@ -114,6 +127,34 @@ fn main() {
             Err(msg) => {
                 eprintln!("isolation gate FAILED: {msg}");
                 std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if want_monitor || want_monitor_gate {
+        let report = monitor::monitor_section(|line| println!("{line}"));
+        monitor::print_report(&report);
+        if want_monitor {
+            let lossy = causal::lossy_journal();
+            monitor::print_postmortem_demo(&lossy);
+        }
+        let json = monitor::to_json(&report);
+        let path = "BENCH_monitor.json";
+        std::fs::write(path, &json).expect("write monitor json");
+        println!("wrote {path}");
+        summary::write();
+        if want_monitor_gate {
+            match monitor::gate(&report) {
+                Ok(lines) => {
+                    for l in lines {
+                        println!("{l}");
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("monitor gate FAILED: {msg}");
+                    std::process::exit(1);
+                }
             }
         }
         return;

@@ -43,10 +43,11 @@ pub const CAUSAL_LOSS: f64 = 0.05;
 /// `tables_output.txt` — the gate runs from the repo root).
 pub const GOLDEN_TRACE: &str = "tests/golden/causal_trace.json";
 
-/// Runs the seeded faulty Table-2 workload and joins the journal into a
-/// causal graph. Panics if the transfer fails to complete or the
-/// latency-split invariant breaks — both would invalidate the report.
-pub fn causal_section() -> CausalGraph {
+/// Runs the seeded faulty Table-2 workload with the journal recording
+/// and returns the raw records — the causal graph builds from them here,
+/// and the conformance monitor replays and mutates them in
+/// [`crate::monitor`]. Panics if the transfer fails to complete.
+pub fn lossy_journal() -> Vec<unp_trace::Record> {
     unp_trace::journal_start();
     let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
     let stats = TransferStats::new_shared();
@@ -77,6 +78,14 @@ pub fn causal_section() -> CausalGraph {
         CAUSAL_TOTAL,
         "lossy transfer incomplete"
     );
+    records
+}
+
+/// Runs the seeded faulty Table-2 workload and joins the journal into a
+/// causal graph. Panics if the transfer fails to complete or the
+/// latency-split invariant breaks — both would invalidate the report.
+pub fn causal_section() -> CausalGraph {
+    let records = lossy_journal();
     let graph = CausalGraph::build(&records);
     graph
         .check_consistency()

@@ -10,6 +10,7 @@
 pub mod causal;
 pub mod demux;
 pub mod isolation;
+pub mod monitor;
 pub mod profile;
 pub mod scale;
 pub mod summary;

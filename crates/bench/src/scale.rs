@@ -59,7 +59,7 @@ pub struct ScalePoint {
 /// pair of slots is a listen binding and a residual binding; each
 /// category owns a disjoint local-address space so a frame aimed at one
 /// tier can never be stolen by another.
-fn mixed_spec(i: usize) -> DemuxSpec {
+pub fn mixed_spec(i: usize) -> DemuxSpec {
     let k = i / MIX_PERIOD;
     let (a, b) = ((k / 250) as u8, (k % 250) as u8);
     match i % MIX_PERIOD {
@@ -89,7 +89,7 @@ fn mixed_spec(i: usize) -> DemuxSpec {
 }
 
 /// A TCP frame from `remote` to `local`.
-fn frame_to(local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16)) -> Vec<u8> {
+pub fn frame_to(local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16)) -> Vec<u8> {
     let seg = TcpRepr {
         src_port: remote.1,
         dst_port: local.1,

@@ -75,6 +75,14 @@ const SOURCES: &[(&str, &[(&str, &str)])] = &[
             ("quota_drops_misattributed", "quota_drops_misattributed"),
         ],
     ),
+    (
+        "BENCH_monitor.json",
+        &[
+            ("golden_violations", "golden_violations"),
+            ("monitor_overhead_ratio", "overhead.ratio"),
+            ("peak_observer_mem_bytes", "scale.peak_observer_mem_bytes"),
+        ],
+    ),
 ];
 
 /// Walks `path` (`a.b[0].c`, `[-1]` for the last element) through a

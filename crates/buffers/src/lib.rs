@@ -86,14 +86,27 @@ struct Backing {
 
 impl Backing {
     fn new(data: Vec<u8>, pool: Weak<RefCell<PoolInner>>) -> Backing {
-        LIVE_FRAMES.with(|c| c.set(c.get() + 1));
+        let live = LIVE_FRAMES.with(|c| {
+            let live = c.get() + 1;
+            c.set(live);
+            live
+        });
+        // No frame id: ids are minted after the backing exists (and a COW
+        // divergence keeps its parent's id), so the pool-accounting
+        // checker chains the live counts instead of joining frames.
+        unp_trace::emit(None, || unp_trace::Event::FrameAlloc { live });
         Backing { data, pool }
     }
 }
 
 impl Drop for Backing {
     fn drop(&mut self) {
-        LIVE_FRAMES.with(|c| c.set(c.get().saturating_sub(1)));
+        let live = LIVE_FRAMES.with(|c| {
+            let live = c.get().saturating_sub(1);
+            c.set(live);
+            live
+        });
+        unp_trace::emit(None, || unp_trace::Event::FrameFree { live });
         if let Some(pool) = self.pool.upgrade() {
             let mut p = pool.borrow_mut();
             if p.free.len() < p.max_free && self.data.len() == p.buf_size {

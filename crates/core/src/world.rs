@@ -507,7 +507,18 @@ fn byzantine_tick(
                     mss: None,
                 };
                 for _ in 0..burst {
-                    emit_tcp_segment(w, eng, host, &repr, &[], remote.0, bqi, 0, Some(send_cap));
+                    send_tcp_frame(
+                        w,
+                        eng,
+                        host,
+                        &repr,
+                        &[],
+                        remote.0,
+                        bqi,
+                        0,
+                        Some(send_cap),
+                        true,
+                    );
                 }
             }
             ByzantineKind::CapabilityStorm { .. } => {
@@ -529,7 +540,18 @@ fn byzantine_tick(
                     window: 0,
                     mss: None,
                 };
-                emit_tcp_segment(w, eng, host, &spoof, &[], remote.0, bqi, 0, Some(send_cap));
+                send_tcp_frame(
+                    w,
+                    eng,
+                    host,
+                    &spoof,
+                    &[],
+                    remote.0,
+                    bqi,
+                    0,
+                    Some(send_cap),
+                    true,
+                );
                 let c = w.costs.trap;
                 w.hosts[host].cpu.charge(now, c);
             }
@@ -608,7 +630,13 @@ where
     F: FnOnce(&mut World, &mut Eng) + 'static,
 {
     let done = w.hosts[h].cpu.charge(eng.now(), cost);
-    eng.at(done, f);
+    // Attribute everything the scheduled work emits to this host: deep
+    // protocol paths (TCB transitions, registry setup) have no other way
+    // to know whose CPU they run on. Inner scopes still nest.
+    eng.at(done, move |w, eng| {
+        let _attr = unp_trace::host_scope(h as u16);
+        f(w, eng);
+    });
 }
 
 /// Like [`host_exec`] but at interrupt priority: device interrupt service
@@ -621,7 +649,10 @@ where
     F: FnOnce(&mut World, &mut Eng) + 'static,
 {
     let done = w.hosts[h].cpu.charge_priority(eng.now(), cost);
-    eng.at(done, f);
+    eng.at(done, move |w, eng| {
+        let _attr = unp_trace::host_scope(h as u16);
+        f(w, eng);
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -1714,7 +1745,11 @@ fn library_process_chain(
                 dir: unp_trace::Dir::Rx,
                 local_port: repr.dst_port,
                 remote_port: repr.src_port,
+                remote_ip: src.0,
                 seq: repr.seq.0,
+                ack: repr.ack_num.0,
+                wnd: u32::from(repr.window),
+                flags: seg_flags(&repr),
                 payload: data.len() as u32,
                 wire: (frame.len() - lhl) as u32,
             });
@@ -1973,6 +2008,24 @@ pub fn sync_tenant_scopes(w: &mut World) {
             scope.open_channels = s.open_channels as u64;
         }
     }
+}
+
+/// Mirrors the observer pipeline's stream counters into the metrics
+/// registry: violations flagged by an attached conformance monitor and
+/// the flight recorder's current occupancy. The stream counter is
+/// monotonic per thread while `Ctr` is add-only, and this sync is the
+/// counter's sole writer, so the counter itself doubles as the
+/// last-synced watermark. Called by reporting code (dashboards,
+/// exporters) before it reads the metrics; a no-op when no observer is
+/// attached.
+pub fn sync_monitor_stats(w: &mut World) {
+    let s = unp_trace::stream_stats();
+    let seen = w.metrics.get(Ctr::MonitorViolations);
+    if s.violations > seen {
+        w.metrics.add(Ctr::MonitorViolations, s.violations - seen);
+    }
+    w.metrics
+        .gauge_set(Gauge::RecorderOccupancy, s.recorder_occupancy);
 }
 
 /// Creates the channel, template, and (on AN1) BQI for a handshake the
@@ -2289,6 +2342,17 @@ fn apply_tcp_actions(
     }
 }
 
+/// The journaled control-flag summary of a segment (what the online
+/// conformance checkers key their ack/dup-ACK/incarnation logic on).
+fn seg_flags(repr: &TcpRepr) -> unp_trace::SegFlags {
+    unp_trace::SegFlags {
+        syn: repr.flags.syn,
+        fin: repr.flags.fin,
+        rst: repr.flags.rst,
+        ack: repr.flags.ack,
+    }
+}
+
 /// Builds one TCP segment's IP packet(s) and hands them to the link
 /// layer. Unfragmented segments — the entire measured workload — take
 /// the zero-copy path: the payload is staged once into a pooled frame
@@ -2306,6 +2370,31 @@ fn emit_tcp_segment(
     bqi: u16,
     announce: u16,
     send_cap: Option<Capability>,
+) {
+    send_tcp_frame(
+        w, eng, h, repr, payload, remote, bqi, announce, send_cap, false,
+    );
+}
+
+/// [`emit_tcp_segment`] with `fabricated` exposed: a byzantine tenant's
+/// raw transmit parses as TCP on the wire but was built by no TCB, so it
+/// must not be journaled as a `tcp_segment` (the record means "a TCP
+/// endpoint produced this") — only its NIC/template-check chain is real.
+/// The conformance monitor depends on this honesty: per-connection
+/// invariants like ACK monotonicity hold for the library's segments, not
+/// for arbitrary bytes a template happens to pass.
+#[allow(clippy::too_many_arguments)]
+fn send_tcp_frame(
+    w: &mut World,
+    eng: &mut Eng,
+    h: usize,
+    repr: &TcpRepr,
+    payload: &[u8],
+    remote: Ipv4Addr,
+    bqi: u16,
+    announce: u16,
+    send_cap: Option<Capability>,
+    fabricated: bool,
 ) {
     let _attr = unp_trace::host_scope(h as u16);
     let local_ip = w.hosts[h].ip;
@@ -2337,14 +2426,20 @@ fn emit_tcp_segment(
             continue;
         };
         let frame = encap_link(w, h, mac, ipf, bqi, announce);
-        unp_trace::emit(Some(frame.id()), || unp_trace::Event::TcpSegment {
-            dir: unp_trace::Dir::Tx,
-            local_port: repr.src_port,
-            remote_port: repr.dst_port,
-            seq: repr.seq.0,
-            payload: payload.len() as u32,
-            wire: (frame.len() - lhl) as u32,
-        });
+        if !fabricated {
+            unp_trace::emit(Some(frame.id()), || unp_trace::Event::TcpSegment {
+                dir: unp_trace::Dir::Tx,
+                local_port: repr.src_port,
+                remote_port: repr.dst_port,
+                remote_ip: remote.0,
+                seq: repr.seq.0,
+                ack: repr.ack_num.0,
+                wnd: u32::from(repr.window),
+                flags: seg_flags(repr),
+                payload: payload.len() as u32,
+                wire: (frame.len() - lhl) as u32,
+            });
+        }
         // UserLibrary: the template check really runs. Transmit-credit
         // windows roll forward first so a budgeted tenant's refill
         // instants depend only on sim time, never on call order.

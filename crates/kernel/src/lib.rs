@@ -1013,9 +1013,13 @@ impl NetIoModule {
         if let Some(acct) = self.tenants.get_mut(&owner.0) {
             if acct.budget.ring_slots > 0 && acct.ring_occupancy >= acct.budget.ring_slots {
                 acct.quota_drops += 1;
+                let in_use = acct.ring_occupancy as u64;
+                let quota = acct.budget.ring_slots as u64;
                 unp_trace::emit(Some(frame.id()), || unp_trace::Event::QuotaDrop {
                     channel: id.0,
                     tenant: owner.0,
+                    in_use,
+                    quota,
                 });
                 return Delivery::QuotaDropped { tenant: owner };
             }

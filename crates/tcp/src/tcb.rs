@@ -51,6 +51,22 @@ impl State {
     }
 }
 
+/// The journal's mirror of [`State`] (`unp-trace` sits below this crate).
+fn fsm_of(s: State) -> unp_trace::TcpFsm {
+    match s {
+        State::SynSent => unp_trace::TcpFsm::SynSent,
+        State::SynReceived => unp_trace::TcpFsm::SynReceived,
+        State::Established => unp_trace::TcpFsm::Established,
+        State::FinWait1 => unp_trace::TcpFsm::FinWait1,
+        State::FinWait2 => unp_trace::TcpFsm::FinWait2,
+        State::CloseWait => unp_trace::TcpFsm::CloseWait,
+        State::Closing => unp_trace::TcpFsm::Closing,
+        State::LastAck => unp_trace::TcpFsm::LastAck,
+        State::TimeWait => unp_trace::TcpFsm::TimeWait,
+        State::Closed => unp_trace::TcpFsm::Closed,
+    }
+}
+
 /// The timers a connection uses. Each kind has at most one pending
 /// instance; re-arming replaces the previous deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,7 +180,7 @@ impl ListenTcb {
             return None;
         }
         let mut tcb = Tcb::new(self.local, remote, self.cfg.clone(), SeqNum(iss));
-        tcb.state = State::SynReceived;
+        tcb.transition(State::SynReceived);
         tcb.irs = repr.seq;
         tcb.rcv_nxt = repr.seq + 1;
         tcb.snd_nxt = tcb.iss + 1;
@@ -289,6 +305,26 @@ impl Tcb {
         }
     }
 
+    /// Commits a protocol-state move, journaling the edge so the online
+    /// conformance monitor can check it against the legal transition
+    /// relation. Re-entering the current state is a no-op (teardown paths
+    /// reach `enter_closed` more than once); constructor initialization
+    /// is not an edge.
+    fn transition(&mut self, to: State) {
+        let from = self.state;
+        if from == to {
+            return;
+        }
+        self.state = to;
+        unp_trace::emit(None, || unp_trace::Event::TcpState {
+            local_port: self.local.1,
+            remote_port: self.remote.1,
+            remote_ip: self.remote.0 .0,
+            from: fsm_of(from),
+            to: fsm_of(to),
+        });
+    }
+
     /// Opens a connection actively: returns the block in `SynSent` with the
     /// SYN emitted.
     pub fn connect(
@@ -299,7 +335,7 @@ impl Tcb {
         now: Nanos,
     ) -> (Tcb, Vec<TcpAction>) {
         let mut tcb = Tcb::new(local, remote, cfg, SeqNum(iss));
-        tcb.state = State::SynSent;
+        tcb.transition(State::SynSent);
         tcb.snd_nxt = tcb.iss + 1;
         let mut out = Vec::new();
         let mss = Some(tcb.cfg.mss_local as u16);
@@ -538,13 +574,13 @@ impl Tcb {
             }
             State::SynReceived | State::Established => {
                 self.fin_queued = true;
-                self.state = State::FinWait1;
+                self.transition(State::FinWait1);
                 self.output(now, &mut out);
                 Ok(out)
             }
             State::CloseWait => {
                 self.fin_queued = true;
-                self.state = State::LastAck;
+                self.transition(State::LastAck);
                 self.output(now, &mut out);
                 Ok(out)
             }
@@ -590,7 +626,7 @@ impl Tcb {
         ] {
             self.cancel_timer(t, out);
         }
-        self.state = State::Closed;
+        self.transition(State::Closed);
         out.push(TcpAction::ConnClosed);
     }
 
@@ -738,6 +774,7 @@ impl Tcb {
             unp_trace::emit(None, || unp_trace::Event::TcpRexmit {
                 local_port: self.local.1,
                 remote_port: self.remote.1,
+                remote_ip: self.remote.0 .0,
                 seq: self.snd_una.0,
                 bytes: len as u32,
                 reason,
@@ -938,7 +975,7 @@ impl Tcb {
             if repr.flags.ack {
                 self.snd_una = repr.ack_num;
                 self.update_send_window(repr);
-                self.state = State::Established;
+                self.transition(State::Established);
                 self.retransmit_count = 0;
                 self.cancel_timer(TcpTimer::Retransmit, out);
                 if let Some(interval) = self.cfg.keepalive {
@@ -949,7 +986,7 @@ impl Tcb {
                 self.output(now, out);
             } else {
                 // Simultaneous open.
-                self.state = State::SynReceived;
+                self.transition(State::SynReceived);
                 self.snd_una = self.iss;
                 let mss = Some(self.cfg.mss_local as u16);
                 let seq = self.iss;
@@ -1034,7 +1071,7 @@ impl Tcb {
         let ack = repr.ack_num;
         if self.state == State::SynReceived {
             if ack.gt(self.snd_una) && ack.le(self.snd_nxt) {
-                self.state = State::Established;
+                self.transition(State::Established);
                 self.snd_una = ack;
                 self.retransmit_count = 0;
                 self.update_send_window(repr);
@@ -1140,10 +1177,10 @@ impl Tcb {
         if fin_acked {
             match self.state {
                 State::FinWait1 => {
-                    self.state = State::FinWait2;
+                    self.transition(State::FinWait2);
                 }
                 State::Closing => {
-                    self.state = State::TimeWait;
+                    self.transition(State::TimeWait);
                     self.arm_timer(TcpTimer::TimeWait, now + self.cfg.time_wait, out);
                 }
                 State::LastAck => {
@@ -1237,13 +1274,13 @@ impl Tcb {
             self.rcv_nxt += 1;
             out.push(TcpAction::PeerClosed);
             match self.state {
-                State::Established => self.state = State::CloseWait,
+                State::Established => self.transition(State::CloseWait),
                 State::FinWait1 => {
                     // If our FIN were already acked we'd be in FinWait2.
-                    self.state = State::Closing;
+                    self.transition(State::Closing);
                 }
                 State::FinWait2 => {
-                    self.state = State::TimeWait;
+                    self.transition(State::TimeWait);
                     self.arm_timer(TcpTimer::TimeWait, now + self.cfg.time_wait, out);
                 }
                 _ => {}

@@ -487,6 +487,7 @@ impl CausalGraph {
                     seq,
                     payload,
                     wire,
+                    ..
                 } => {
                     let Some(f) = rec.frame else { continue };
                     let j = entry(&mut journeys, &mut by_frame, f);
@@ -537,6 +538,7 @@ impl CausalGraph {
                     seq,
                     bytes,
                     reason,
+                    ..
                 } => raw_rexmits.push((
                     rec.time,
                     rec.host,
@@ -1181,7 +1183,11 @@ mod tests {
                     dir: Dir::Tx,
                     local_port: 9000,
                     remote_port: 80,
+                    remote_ip: [10, 0, 0, 2],
                     seq: 1000,
+                    ack: 0,
+                    wnd: 8192,
+                    flags: crate::SegFlags::default(),
                     payload: 500,
                     wire: 540,
                 },
@@ -1222,6 +1228,7 @@ mod tests {
                 Event::TcpRexmit {
                     local_port: 9000,
                     remote_port: 80,
+                    remote_ip: [10, 0, 0, 2],
                     seq: 1000,
                     bytes: 500,
                     reason: RexmitReason::Rto,
@@ -1235,7 +1242,11 @@ mod tests {
                     dir: Dir::Tx,
                     local_port: 9000,
                     remote_port: 80,
+                    remote_ip: [10, 0, 0, 2],
                     seq: 1000,
+                    ack: 0,
+                    wnd: 8192,
+                    flags: crate::SegFlags::default(),
                     payload: 500,
                     wire: 540,
                 },
@@ -1296,7 +1307,11 @@ mod tests {
                     dir: Dir::Rx,
                     local_port: 80,
                     remote_port: 9000,
+                    remote_ip: [10, 0, 0, 1],
                     seq: 1000,
+                    ack: 0,
+                    wnd: 8192,
+                    flags: crate::SegFlags::default(),
                     payload: 500,
                     wire: 540,
                 },

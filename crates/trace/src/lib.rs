@@ -15,17 +15,27 @@
 //!   per-connection and per-channel scopes that absorb the stack's
 //!   scattered stats structs at teardown.
 //!
+//! # The streaming-observer pipeline
+//!
+//! Emission fans out through [`stream`]: every record is dispatched, at
+//! emit time, to whatever [`Observer`]s are attached to the thread. The
+//! full journal is just one observer ([`Journal`], attached by
+//! [`journal_start`] / [`journal_start_bounded`]); the online conformance
+//! monitor ([`monitor::Monitor`]) and the bounded [`FlightRecorder`] are
+//! others, so analyses can run online in bounded memory instead of
+//! post-hoc over an unbounded `Vec<Record>`.
+//!
 //! # Zero-overhead disabled mode
 //!
-//! The journal is double-gated. The `journal` cargo feature compiles the
+//! The pipeline is double-gated. The `journal` cargo feature compiles the
 //! machinery in; without it `emit` is an empty inline function and the
 //! event-construction closure is never even type-checked against a live
-//! sink. With the feature on, the runtime gate is a thread-local flag set
-//! by [`journal_start`]: a quiescent emission point costs one flag read,
-//! and the closure building the event runs only while a journal is
-//! recording. `repro-tables` golden output is byte-identical in all three
-//! states (feature off / feature on / journal recording) because emission
-//! is observation-only.
+//! sink. With the feature on, the runtime gate is a thread-local
+//! observer count: a quiescent emission point costs one flag read, and
+//! the closure building the event runs only while at least one observer
+//! is attached. `repro-tables` golden output is byte-identical in all
+//! three states (feature off / feature on / observers attached) because
+//! emission is observation-only.
 //!
 //! # Determinism
 //!
@@ -37,14 +47,22 @@
 pub mod causal;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod profile;
+pub mod stream;
 
 pub use causal::{Attribution, CausalGraph, Cause, Journey, JourneyFate, Loss};
 pub use metrics::{
     ChannelScope, ConnKey, ConnScope, Ctr, Gauge, Hist, Histogram, LinkScope, Metrics, Snapshot,
     Window,
 };
+pub use monitor::{CheckStats, Monitor, Violation, ViolationKind};
 pub use profile::{PathOutcome, PathTrace, Profile, Stage};
+pub use stream::stats as stream_stats;
+pub use stream::{
+    attach, detach, detach_as, journal_dropped, reset_stats as reset_stream_stats, FlightRecorder,
+    Journal, Observer, ObserverHandle, StreamStats,
+};
 
 /// Simulated time in nanoseconds (mirrors `unp_sim::Nanos`; this crate
 /// sits below the engine and cannot import it).
@@ -109,6 +127,88 @@ impl RexmitReason {
         match self {
             RexmitReason::Rto => "rto",
             RexmitReason::DupAck => "dup_ack",
+        }
+    }
+}
+
+/// TCP control flags of a journaled segment, compacted to the four the
+/// conformance checkers reason about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegFlags {
+    /// SYN set.
+    pub syn: bool,
+    /// FIN set.
+    pub fin: bool,
+    /// RST set.
+    pub rst: bool,
+    /// ACK set.
+    pub ack: bool,
+}
+
+impl SegFlags {
+    /// Journal keyword: one letter per set flag in `s f r a` order, or
+    /// `.` for none (e.g. `sa` = SYN|ACK).
+    pub fn label(self) -> String {
+        let mut s = String::new();
+        if self.syn {
+            s.push('s');
+        }
+        if self.fin {
+            s.push('f');
+        }
+        if self.rst {
+            s.push('r');
+        }
+        if self.ack {
+            s.push('a');
+        }
+        if s.is_empty() {
+            s.push('.');
+        }
+        s
+    }
+}
+
+/// A TCP protocol state, as journaled on [`Event::TcpState`] edges.
+/// Mirrors `unp_tcp::State` (this crate sits below the protocol library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpFsm {
+    /// No connection.
+    Closed,
+    /// Active open sent a SYN.
+    SynSent,
+    /// SYN received, SYN-ACK sent.
+    SynReceived,
+    /// Three-way handshake complete.
+    Established,
+    /// Local close sent a FIN, awaiting its ACK.
+    FinWait1,
+    /// Our FIN acked, awaiting the peer's FIN.
+    FinWait2,
+    /// Simultaneous close: FINs crossed.
+    Closing,
+    /// Peer's FIN received, local close pending.
+    CloseWait,
+    /// Passive close sent its FIN.
+    LastAck,
+    /// 2MSL drain after an orderly close.
+    TimeWait,
+}
+
+impl TcpFsm {
+    /// Journal keyword for the state (`syn_sent`, `fin_wait_1`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            TcpFsm::Closed => "closed",
+            TcpFsm::SynSent => "syn_sent",
+            TcpFsm::SynReceived => "syn_received",
+            TcpFsm::Established => "established",
+            TcpFsm::FinWait1 => "fin_wait_1",
+            TcpFsm::FinWait2 => "fin_wait_2",
+            TcpFsm::Closing => "closing",
+            TcpFsm::CloseWait => "close_wait",
+            TcpFsm::LastAck => "last_ack",
+            TcpFsm::TimeWait => "time_wait",
         }
     }
 }
@@ -220,8 +320,15 @@ pub enum Event {
     /// had room). Distinct from [`Event::RingDrop`] so quota enforcement
     /// is attributable to the tenant that overran its budget, and so
     /// clean runs — where no tenant ever exceeds its share — emit a
-    /// byte-identical journal to the pre-quota stack.
-    QuotaDrop { channel: u32, tenant: u64 },
+    /// byte-identical journal to the pre-quota stack. `in_use`/`quota`
+    /// are the tenant's aggregate ring occupancy and budget at the drop,
+    /// so the quota-conservation checker can verify the drop was earned.
+    QuotaDrop {
+        channel: u32,
+        tenant: u64,
+        in_use: u64,
+        quota: u64,
+    },
     /// A library wakeup consumed a batch of frames from a channel ring.
     WakeupBatch { channel: u32, frames: u32 },
     /// The protocol library processed (rx) or built (tx) one TCP segment.
@@ -229,11 +336,34 @@ pub enum Event {
         dir: Dir,
         local_port: u16,
         remote_port: u16,
+        /// Remote IPv4 address: ports alone are ambiguous once clients on
+        /// different hosts pick the same ephemeral port, and the monitor
+        /// must key each connection's streaming state unambiguously.
+        remote_ip: [u8; 4],
         seq: u32,
+        /// Acknowledgment number carried (meaningful when `flags` has
+        /// `a`; the ack-monotonicity and dup-ACK checkers key on it).
+        ack: u32,
+        /// Advertised receive window.
+        wnd: u32,
+        /// Control flags ([`SegFlags::label`] in the journal line).
+        flags: SegFlags,
         payload: u32,
         /// Bytes the segment occupies past the link header (IP + TCP +
         /// payload) — what the modeled per-segment cost is keyed on.
         wire: u32,
+    },
+    /// A TCP connection block moved between protocol states — the edges
+    /// the conformance monitor checks against the legal transition
+    /// relation. Constructor initialization is not an edge; `Closed` as a
+    /// target covers aborts and resets from any state.
+    TcpState {
+        local_port: u16,
+        remote_port: u16,
+        /// See [`Event::TcpSegment::remote_ip`].
+        remote_ip: [u8; 4],
+        from: TcpFsm,
+        to: TcpFsm,
     },
     /// The TCP RTT estimator took a sample.
     RttSample {
@@ -247,6 +377,8 @@ pub enum Event {
     TcpRexmit {
         local_port: u16,
         remote_port: u16,
+        /// See [`Event::TcpSegment::remote_ip`].
+        remote_ip: [u8; 4],
         seq: u32,
         bytes: u32,
         reason: RexmitReason,
@@ -269,6 +401,14 @@ pub enum Event {
     /// A corrupted frame was caught by a checksum and discarded instead
     /// of panicking or misdelivering.
     FrameCorruptDiscard { len: u32 },
+    /// A frame backing buffer came alive in the thread's pool; `live` is
+    /// the live-buffer count *after* the allocation. Emitted without a
+    /// frame id (ids are minted after the backing exists), so the
+    /// frame-join analyses ignore it; the pool-accounting checker chains
+    /// consecutive `live` values to catch leaked or double-freed buffers.
+    FrameAlloc { live: u64 },
+    /// A frame backing buffer was released; `live` is the count after.
+    FrameFree { live: u64 },
     /// A trusted layer (kernel or registry) reclaimed a resource on
     /// behalf of a dead application. `id` is the channel id, port number,
     /// BQI index, or handshake id, per `kind`.
@@ -292,6 +432,7 @@ impl Event {
             Event::QuotaDrop { .. } => "quota_drop",
             Event::WakeupBatch { .. } => "wakeup_batch",
             Event::TcpSegment { .. } => "tcp_segment",
+            Event::TcpState { .. } => "tcp_state",
             Event::RttSample { .. } => "rtt_sample",
             Event::TcpRexmit { .. } => "tcp_rexmit",
             Event::TcpOooHold { .. } => "tcp_ooo_hold",
@@ -299,11 +440,16 @@ impl Event {
             Event::TxTemplateCheck { .. } => "tx_template_check",
             Event::FaultInject { .. } => "fault_inject",
             Event::FrameCorruptDiscard { .. } => "frame_corrupt_discard",
+            Event::FrameAlloc { .. } => "frame_alloc",
+            Event::FrameFree { .. } => "frame_free",
             Event::ResourceReclaim { .. } => "resource_reclaim",
         }
     }
 
     fn fields(&self) -> String {
+        fn fmt_ip(ip: &[u8; 4]) -> String {
+            format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3])
+        }
         match self {
             Event::NicRx { len, accepted } => format!("len={len} accepted={accepted}"),
             Event::NicTx { len } => format!("len={len}"),
@@ -322,18 +468,42 @@ impl Event {
                 signal,
             } => format!("ch={channel} depth={depth} signal={signal}"),
             Event::RingDrop { channel, pressure } => format!("ch={channel} pressure={pressure}"),
-            Event::QuotaDrop { channel, tenant } => format!("ch={channel} tenant={tenant}"),
+            Event::QuotaDrop {
+                channel,
+                tenant,
+                in_use,
+                quota,
+            } => format!("ch={channel} tenant={tenant} in_use={in_use} quota={quota}"),
             Event::WakeupBatch { channel, frames } => format!("ch={channel} frames={frames}"),
             Event::TcpSegment {
                 dir,
                 local_port,
                 remote_port,
+                remote_ip,
                 seq,
+                ack,
+                wnd,
+                flags,
                 payload,
                 wire,
             } => format!(
-                "dir={} lp={local_port} rp={remote_port} seq={seq} payload={payload} wire={wire}",
-                dir.label()
+                "dir={} lp={local_port} rp={remote_port} rip={} seq={seq} ack={ack} wnd={wnd} \
+                 flags={} payload={payload} wire={wire}",
+                dir.label(),
+                fmt_ip(remote_ip),
+                flags.label()
+            ),
+            Event::TcpState {
+                local_port,
+                remote_port,
+                remote_ip,
+                from,
+                to,
+            } => format!(
+                "lp={local_port} rp={remote_port} rip={} from={} to={}",
+                fmt_ip(remote_ip),
+                from.label(),
+                to.label()
             ),
             Event::RttSample {
                 local_port,
@@ -343,11 +513,13 @@ impl Event {
             Event::TcpRexmit {
                 local_port,
                 remote_port,
+                remote_ip,
                 seq,
                 bytes,
                 reason,
             } => format!(
-                "lp={local_port} rp={remote_port} seq={seq} bytes={bytes} reason={}",
+                "lp={local_port} rp={remote_port} rip={} seq={seq} bytes={bytes} reason={}",
+                fmt_ip(remote_ip),
                 reason.label()
             ),
             Event::TcpOooHold {
@@ -362,6 +534,8 @@ impl Event {
                 format!("kind={} from={from} to={to}", kind.label())
             }
             Event::FrameCorruptDiscard { len } => format!("len={len}"),
+            Event::FrameAlloc { live } => format!("live={live}"),
+            Event::FrameFree { live } => format!("live={live}"),
             Event::ResourceReclaim { kind, owner, id } => {
                 format!("kind={} owner={owner} id={id}", kind.label())
             }
@@ -466,46 +640,77 @@ pub fn render_json(records: &[Record]) -> String {
 
 #[cfg(feature = "journal")]
 mod active {
-    use super::{Event, Nanos, Record};
-    use std::cell::{Cell, RefCell};
+    use super::{stream, Event, Nanos, Record};
+    use std::cell::Cell;
 
     thread_local! {
-        static RECORDING: Cell<bool> = const { Cell::new(false) };
         static CLOCK: Cell<Nanos> = const { Cell::new(0) };
         static HOST: Cell<Option<u16>> = const { Cell::new(None) };
         static NEXT_FRAME: Cell<u64> = const { Cell::new(0) };
-        static JOURNAL: RefCell<Vec<Record>> = const { RefCell::new(Vec::new()) };
+        static JOURNAL_HANDLE: Cell<Option<u64>> = const { Cell::new(None) };
     }
 
-    /// Starts recording: clears the journal, zeroes the frame-id mint and
-    /// the clock. Build the world *after* calling this so two identical
-    /// runs mint identical frame ids.
-    pub fn journal_start() {
-        JOURNAL.with(|j| j.borrow_mut().clear());
+    /// Zeroes the frame-id mint, the clock, and the host scope without
+    /// touching attached observers: arms a deterministic run for
+    /// observer-only (journal-off) monitoring. [`journal_start`] calls
+    /// this; monitor-only runs — the million-channel sweeps where a full
+    /// journal is impossible — call it directly before building the
+    /// world.
+    pub fn reset_run() {
         NEXT_FRAME.with(|c| c.set(0));
         CLOCK.with(|c| c.set(0));
         HOST.with(|c| c.set(None));
-        RECORDING.with(|c| c.set(true));
     }
 
-    /// Stops recording and drains the journal.
+    fn start_with(j: stream::Journal) {
+        if let Some(id) = JOURNAL_HANDLE.with(|c| c.take()) {
+            let _ = stream::detach(stream::ObserverHandle::from_id(id));
+        }
+        reset_run();
+        stream::reset_journal_dropped();
+        let h = stream::attach(Box::new(j));
+        JOURNAL_HANDLE.with(|c| c.set(Some(h.id())));
+    }
+
+    /// Starts recording: attaches a fresh unbounded journal observer
+    /// (replacing any previous one) and zeroes the frame-id mint and the
+    /// clock. Build the world *after* calling this so two identical runs
+    /// mint identical frame ids. Other observers stay attached.
+    pub fn journal_start() {
+        start_with(stream::Journal::unbounded());
+    }
+
+    /// [`journal_start`], but the journal keeps only the most recent
+    /// `cap` records (drop-oldest; evictions counted by
+    /// [`super::journal_dropped`]) — long soaks no longer carry
+    /// peak-journal memory.
+    pub fn journal_start_bounded(cap: usize) {
+        start_with(stream::Journal::bounded(cap));
+    }
+
+    /// Stops recording and drains the journal, shrunk to its length.
     pub fn journal_stop() -> Vec<Record> {
-        RECORDING.with(|c| c.set(false));
-        JOURNAL.with(|j| std::mem::take(&mut *j.borrow_mut()))
+        let Some(id) = JOURNAL_HANDLE.with(|c| c.take()) else {
+            return Vec::new();
+        };
+        match stream::detach_as::<stream::Journal>(stream::ObserverHandle::from_id(id)) {
+            Some(j) => j.into_records(),
+            None => Vec::new(),
+        }
     }
 
-    /// Whether a journal is currently recording on this thread.
+    /// Whether a journal observer is currently recording on this thread.
     #[inline]
     pub fn journal_enabled() -> bool {
-        RECORDING.with(|c| c.get())
+        JOURNAL_HANDLE.with(|c| c.get().is_some())
     }
 
     /// The shared record-push path behind [`emit`] and [`emit_at`]: gate
     /// first, so neither the host resolver nor the event constructor runs
-    /// while quiescent.
+    /// while quiescent (no observers attached).
     #[inline]
     fn push(host: impl FnOnce() -> Option<u16>, frame: Option<u64>, make: impl FnOnce() -> Event) {
-        if !journal_enabled() {
+        if !stream::any_attached() {
             return;
         }
         let rec = Record {
@@ -514,7 +719,7 @@ mod active {
             frame,
             event: make(),
         };
-        JOURNAL.with(|j| j.borrow_mut().push(rec));
+        stream::dispatch(&rec);
     }
 
     /// Emits an event attributed to the thread's current host scope. The
@@ -578,8 +783,8 @@ mod active {
 
 #[cfg(feature = "journal")]
 pub use active::{
-    emit, emit_at, host_scope, journal_enabled, journal_start, journal_stop, next_frame_id,
-    set_time, time, HostScope,
+    emit, emit_at, host_scope, journal_enabled, journal_start, journal_start_bounded, journal_stop,
+    next_frame_id, reset_run, set_time, time, HostScope,
 };
 
 #[cfg(not(feature = "journal"))]
@@ -589,6 +794,14 @@ mod inert {
     /// No-op (journal feature off).
     #[inline(always)]
     pub fn journal_start() {}
+
+    /// No-op (journal feature off).
+    #[inline(always)]
+    pub fn journal_start_bounded(_cap: usize) {}
+
+    /// No-op (journal feature off).
+    #[inline(always)]
+    pub fn reset_run() {}
 
     /// No-op (journal feature off): always empty.
     #[inline(always)]
@@ -638,8 +851,8 @@ mod inert {
 
 #[cfg(not(feature = "journal"))]
 pub use inert::{
-    emit, emit_at, host_scope, journal_enabled, journal_start, journal_stop, next_frame_id,
-    set_time, time, HostScope,
+    emit, emit_at, host_scope, journal_enabled, journal_start, journal_start_bounded, journal_stop,
+    next_frame_id, reset_run, set_time, time, HostScope,
 };
 
 #[cfg(test)]

@@ -108,6 +108,9 @@ metric_enum! {
         /// Handshake completions whose listener had already vanished;
         /// the channel is reclaimed and the peer reset.
         ListenerVanished => "listener_vanished",
+        /// Violations flagged by the attached conformance monitor
+        /// (mirrored from [`crate::stream_stats`] by the world's sync).
+        MonitorViolations => "monitor_violations",
         /// Frames dropped at NIC staging overflow.
         NicDrops => "nic_drops",
         /// Resources (channels, ports, BQIs, handshakes) reclaimed by a
@@ -151,6 +154,9 @@ metric_enum! {
         DemuxListenEntries => "demux_listen_entries",
         /// Kernel channels currently created (handshake + established).
         OpenChannels => "open_channels",
+        /// Records currently held across the attached flight recorder's
+        /// per-host rings (mirrored from [`crate::stream_stats`]).
+        RecorderOccupancy => "recorder_occupancy",
     }
 }
 

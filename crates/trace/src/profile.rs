@@ -645,7 +645,11 @@ mod tests {
                 dir: Dir::Rx,
                 local_port: 80,
                 remote_port: 2000,
+                remote_ip: [10, 0, 0, 9],
                 seq: 0,
+                ack: 0,
+                wnd: 8192,
+                flags: crate::SegFlags::default(),
                 payload: 10,
                 wire: 50,
             },

@@ -22,17 +22,24 @@ use unp::buffers::OwnerTag;
 use unp::core::app::{BulkSender, SinkApp, TransferStats};
 use unp::core::faults::FaultPlan;
 use unp::core::world::{
-    build_two_hosts, connect, install_faults, listen_as, sync_tenant_scopes, Network, OrgKind,
+    build_two_hosts, connect, install_faults, listen_as, sync_monitor_stats, sync_tenant_scopes,
+    Network, OrgKind,
 };
 use unp::kernel::TenantBudget;
 use unp::sim::fmt_nanos;
 use unp::tcp::TcpConfig;
-use unp::trace::{Ctr, Gauge, Hist};
+use unp::trace::{Ctr, Gauge, Hist, Monitor};
 use unp::wire::Ipv4Addr;
 
 fn main() {
     let (mut world, mut engine) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
     let host1_addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    // Streaming conformance monitor with a bounded flight recorder: the
+    // `viol`/`rec` columns below mirror its stream counters into the
+    // metrics registry each slice.
+    unp::trace::reset_stream_stats();
+    let monitor = unp::trace::attach(Box::new(Monitor::with_recorder(256)));
 
     // Three transfers of different sizes and write granularities, all
     // running at once on the same link.
@@ -92,7 +99,7 @@ fn main() {
     // table).
     let pct = |r: Option<f64>| r.map_or("-".into(), |r| format!("{:.1}", r * 100.0));
     println!(
-        "{:<10} {:>5} {:>5} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>9}",
+        "{:<10} {:>5} {:>5} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>9} {:>5} {:>7}",
         "sim time",
         "conns",
         "chans",
@@ -102,7 +109,9 @@ fn main() {
         "flow %",
         "keyed %",
         "listen %",
-        "avg batch"
+        "avg batch",
+        "viol",
+        "rec occ"
     );
     let slice = 250_000_000; // 250 ms of simulated time
     let mut deadline = slice;
@@ -110,10 +119,11 @@ fn main() {
     let mut prev_qdrops: std::collections::BTreeMap<(u16, u64), u64> = Default::default();
     loop {
         engine.run_until(&mut world, deadline);
+        sync_monitor_stats(&mut world);
         let snap = world.metrics.snapshot(engine.now());
         let w = snap.window_since(&prev);
         println!(
-            "{:<10} {:>5} {:>5} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>8} {:>9}",
+            "{:<10} {:>5} {:>5} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>8} {:>9} {:>5} {:>7}",
             fmt_nanos(snap.time),
             snap.gauge(Gauge::ActiveConnections),
             snap.gauge(Gauge::OpenChannels),
@@ -125,6 +135,8 @@ fn main() {
             pct(w.listen_hit_rate()),
             w.hist_mean(Hist::WakeupBatchFrames)
                 .map_or("-".into(), |b| format!("{b:.2}")),
+            snap.get(Ctr::MonitorViolations),
+            snap.gauge(Gauge::RecorderOccupancy),
         );
         // Per-tenant sub-line: quota-drop rate over the window and the
         // tenant's current share of its own ring quota.
@@ -236,6 +248,34 @@ fn main() {
             ),
             t.open_channels,
         );
+    }
+    println!();
+
+    // The conformance monitor's verdict over the whole run: what each
+    // streaming checker examined, and zero violations on this conformant
+    // workload (faults and all — loss is legal, protocol lies are not).
+    sync_monitor_stats(&mut world);
+    let mon = unp::trace::detach_as::<Monitor>(monitor).expect("monitor still attached");
+    let c = mon.checked();
+    println!("-- conformance monitor --");
+    println!(
+        "violations {} (metrics mirror {})  recorder {} records held",
+        mon.total_violations(),
+        world.metrics.get(Ctr::MonitorViolations),
+        mon.recorder_occupancy(),
+    );
+    println!(
+        "checked: {} acks, {} transitions, {} rexmits, {} ring, {} pool, {} classify, {} quota",
+        c.tcp_acks,
+        c.transitions,
+        c.rexmits,
+        c.ring_events,
+        c.pool_events,
+        c.demux_classifies,
+        c.quota_drops,
+    );
+    for v in mon.violations().iter().take(5) {
+        println!("  {}", v.line());
     }
     println!();
 

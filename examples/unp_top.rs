@@ -22,12 +22,13 @@ use unp::buffers::OwnerTag;
 use unp::core::app::{BulkSender, SinkApp, TransferStats};
 use unp::core::faults::FaultPlan;
 use unp::core::world::{
-    build_two_hosts, connect, install_faults, listen_as, sync_tenant_scopes, Network, OrgKind,
+    build_two_hosts, connect, install_faults, listen_as, sync_monitor_stats, sync_tenant_scopes,
+    Network, OrgKind,
 };
 use unp::kernel::TenantBudget;
 use unp::sim::fmt_nanos;
 use unp::tcp::TcpConfig;
-use unp::trace::{Gauge, Hist, PathOutcome, Profile, Stage};
+use unp::trace::{Ctr, Gauge, Hist, Monitor, PathOutcome, Profile, Stage};
 use unp::wire::Ipv4Addr;
 
 fn main() {
@@ -40,6 +41,12 @@ fn main() {
     // every frame's full path. (With the `trace` feature off this is a
     // no-op and the profile section below reports an empty journal.)
     unp::trace::journal_start();
+
+    // Conformance monitor with a bounded flight recorder rides the same
+    // observer pipeline: the `viol`/`rec` columns below come from its
+    // stream counters, mirrored into the metrics each slice.
+    unp::trace::reset_stream_stats();
+    let monitor = unp::trace::attach(Box::new(Monitor::with_recorder(256)));
 
     let transfers = [
         (80u16, 400_000u64, 4096usize),
@@ -90,7 +97,7 @@ fn main() {
     }
 
     let header = format!(
-        "{:<9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
+        "{:<9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5} {:>5} {:>7}",
         "sim time",
         "rx pps",
         "tx pps",
@@ -101,7 +108,9 @@ fn main() {
         "tbl f/l",
         "ring avg",
         "batch avg",
-        "conns"
+        "conns",
+        "viol",
+        "rec occ"
     );
     if !redraw {
         println!("{header}");
@@ -114,11 +123,12 @@ fn main() {
     let mut rows: Vec<String> = Vec::new();
     loop {
         engine.run_until(&mut world, deadline);
+        sync_monitor_stats(&mut world);
         let snap = world.metrics.snapshot(engine.now());
         let w = snap.window_since(&prev);
         let (flow_tbl, listen_tbl) = w.demux_table_sizes();
         let mut row = format!(
-            "{:<9} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5}",
+            "{:<9} {:>9.0} {:>9.0} {:>9.1} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5} {:>5} {:>7}",
             fmt_nanos(snap.time),
             w.rx_pps(),
             w.tx_pps(),
@@ -135,6 +145,8 @@ fn main() {
             w.hist_mean(Hist::WakeupBatchFrames)
                 .map_or("-".into(), |b| format!("{b:.2}")),
             snap.gauge(Gauge::ActiveConnections),
+            snap.get(Ctr::MonitorViolations),
+            snap.gauge(Gauge::RecorderOccupancy),
         );
         // Per-tenant sub-line: windowed quota-drop rate and current
         // share of each budgeted tenant's ring quota.
@@ -201,6 +213,34 @@ fn main() {
             t.ring_slots,
             if t.ring_quota == 0 { "inf".into() } else { t.ring_quota.to_string() },
         );
+    }
+    println!();
+
+    // Pull the monitor back off the pipeline and report what it checked.
+    // A conformant run ends at zero violations; anything else prints its
+    // typed line so the postmortem has a starting point.
+    sync_monitor_stats(&mut world);
+    let mon = unp::trace::detach_as::<Monitor>(monitor).expect("monitor still attached");
+    let c = mon.checked();
+    println!("-- conformance monitor --");
+    println!(
+        "violations {} (metrics mirror {})  recorder {} records held",
+        mon.total_violations(),
+        world.metrics.get(Ctr::MonitorViolations),
+        mon.recorder_occupancy(),
+    );
+    println!(
+        "checked: {} acks, {} transitions, {} rexmits, {} ring, {} pool, {} classify, {} quota",
+        c.tcp_acks,
+        c.transitions,
+        c.rexmits,
+        c.ring_events,
+        c.pool_events,
+        c.demux_classifies,
+        c.quota_drops,
+    );
+    for v in mon.violations().iter().take(5) {
+        println!("  {}", v.line());
     }
     println!();
 

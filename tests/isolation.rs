@@ -30,7 +30,7 @@ use unp::core::world::{
 };
 use unp::kernel::TenantBudget;
 use unp::tcp::TcpConfig;
-use unp::trace::{CausalGraph, Ctr, Gauge, Loss, Profile};
+use unp::trace::{CausalGraph, Ctr, Gauge, Loss, Monitor, Profile};
 
 const INNOCENTS: usize = 3;
 const XFER: u64 = 150_000;
@@ -53,6 +53,9 @@ struct RunResult {
     tx_quota_rejections: u64,
     /// Quota-exceeded losses in the causal graph, with their tenants.
     quota_losses: Vec<u64>,
+    /// Quota drops examined by the streaming conformance monitor (its
+    /// earned-occupancy checker; nonzero only when the flood runs).
+    monitor_quota_checked: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -68,6 +71,13 @@ fn run_scenario(hostile: bool) -> RunResult {
     let base_frames = live_frames();
     let result = {
         unp::trace::journal_start();
+        // The conformance monitor streams alongside the journal: even a
+        // byzantine tenant must not trip a checker, because everything
+        // the kernel lets it do (flood until the quota drops it, burn
+        // credit, replay capabilities into clean rejections) is
+        // protocol-conformant behavior — only the *stack* lying about
+        // what happened would violate.
+        let monitor = unp::trace::attach(Box::new(Monitor::new()));
         let (mut w, mut eng) = build_hosts(2, Network::Ethernet, OrgKind::UserLibrary);
         let server_ip = w.hosts[1].ip;
         let client_ip = w.hosts[0].ip;
@@ -211,6 +221,15 @@ fn run_scenario(hostile: bool) -> RunResult {
             "innocent connections not all established before the window"
         );
         let records = unp::trace::journal_stop();
+        let mon = unp::trace::detach_as::<Monitor>(monitor).expect("monitor still attached");
+        assert_eq!(
+            mon.total_violations(),
+            0,
+            "conformant {} run flagged: {:?}",
+            if hostile { "hostile" } else { "baseline" },
+            mon.violations().first()
+        );
+        assert!(mon.checked().tcp_acks > 0, "monitor saw no traffic");
 
         // (a) byte-exact innocent streams, in-order close, no reset.
         for (i, st) in sinks.iter().enumerate() {
@@ -277,6 +296,7 @@ fn run_scenario(hostile: bool) -> RunResult {
             quota_drops: w.metrics.get(Ctr::ChQuotaDrops),
             tx_quota_rejections: w.metrics.get(Ctr::TxQuotaRejections),
             quota_losses,
+            monitor_quota_checked: mon.checked().quota_drops,
         }
     };
     assert_eq!(live_frames(), base_frames, "pooled frame buffers leaked");
@@ -297,6 +317,13 @@ fn hostile_tenant_cannot_perturb_innocents() {
     assert!(
         hot.tx_quota_rejections > 0,
         "tx flood never ran out of credit"
+    );
+    // The monitor's earned-occupancy checker was vacuous in the baseline
+    // (no drops to check) and exercised by the flood — without flagging.
+    assert_eq!(base.monitor_quota_checked, 0);
+    assert!(
+        hot.monitor_quota_checked > 0,
+        "monitor never checked a quota drop in the hostile run"
     );
 
     // (c) every causally-traced quota loss names the hostile tenant, and

@@ -14,12 +14,21 @@ use unp::wire::Ipv4Addr;
 
 const TOTAL: u64 = 150_000;
 
-/// One Table-2-style bulk run. When `record` is set the journal is armed
+/// How the journal is armed for one run.
+enum Capture {
+    Off,
+    Full,
+    Bounded(usize),
+}
+
+/// One Table-2-style bulk run. When capture is on the journal is armed
 /// *before* the world is built, so frame ids and the sim clock start from
 /// zero and the journal captures the whole run.
-fn bulk_run(total: u64, user_packet: usize, record: bool) -> Vec<Record> {
-    if record {
-        unp::trace::journal_start();
+fn bulk_run(total: u64, user_packet: usize, capture: Capture) -> Vec<Record> {
+    match capture {
+        Capture::Off => {}
+        Capture::Full => unp::trace::journal_start(),
+        Capture::Bounded(cap) => unp::trace::journal_start_bounded(cap),
     }
     let (mut w, mut eng) = build_two_hosts(Network::Ethernet, OrgKind::UserLibrary);
     let stats = TransferStats::new_shared();
@@ -49,8 +58,8 @@ fn bulk_run(total: u64, user_packet: usize, record: bool) -> Vec<Record> {
 
 #[test]
 fn identical_runs_produce_identical_journals() {
-    let a = bulk_run(TOTAL, 2048, true);
-    let b = bulk_run(TOTAL, 2048, true);
+    let a = bulk_run(TOTAL, 2048, Capture::Full);
+    let b = bulk_run(TOTAL, 2048, Capture::Full);
     assert!(!a.is_empty(), "journal recorded nothing");
     // Byte-identical rendering: same events, same order, same timestamps,
     // same frame ids — the journal is as deterministic as the simulation.
@@ -59,7 +68,7 @@ fn identical_runs_produce_identical_journals() {
 
 #[test]
 fn frame_id_join_reconstructs_every_delivered_lifecycle() {
-    let recs = bulk_run(TOTAL, 4096, true);
+    let recs = bulk_run(TOTAL, 4096, Capture::Full);
     let mut seq: HashMap<u64, Vec<&'static str>> = HashMap::new();
     let mut app_bytes = 0u64;
     for r in &recs {
@@ -104,6 +113,39 @@ fn frame_id_join_reconstructs_every_delivered_lifecycle() {
 #[test]
 fn quiescent_journal_records_nothing() {
     assert!(!unp::trace::journal_enabled());
-    let recs = bulk_run(TOTAL, 2048, false);
+    let recs = bulk_run(TOTAL, 2048, Capture::Off);
     assert!(recs.is_empty(), "quiescent run must not record events");
+}
+
+#[test]
+fn bounded_journal_keeps_the_exact_tail_and_counts_drops() {
+    let full = bulk_run(TOTAL, 2048, Capture::Full);
+    assert!(full.len() > 100, "need a substantial run to truncate");
+
+    // A capacity well under the run length: the bounded journal must hold
+    // exactly the last `cap` records of the identical full run, count
+    // every eviction, and hand back a right-sized Vec.
+    let cap = full.len() / 3;
+    let bounded = bulk_run(TOTAL, 2048, Capture::Bounded(cap));
+    assert_eq!(bounded.len(), cap, "bounded journal must fill to capacity");
+    assert_eq!(
+        unp::trace::journal_dropped(),
+        (full.len() - cap) as u64,
+        "every eviction must be counted"
+    );
+    assert_eq!(
+        render(&bounded),
+        render(&full[full.len() - cap..]),
+        "bounded journal must be the exact tail of the full run"
+    );
+    assert_eq!(
+        bounded.capacity(),
+        bounded.len(),
+        "journal_stop must shrink the drained Vec to its length"
+    );
+
+    // A capacity wider than the run drops nothing and equals the full run.
+    let wide = bulk_run(TOTAL, 2048, Capture::Bounded(full.len() * 2));
+    assert_eq!(unp::trace::journal_dropped(), 0);
+    assert_eq!(render(&wide), render(&full));
 }
